@@ -1,0 +1,45 @@
+// Ablation A6: cache configuration vs cycles per classification — the
+// microarchitectural knob behind Table 2's qubit-count sensitivity
+// ("more qubits result in more cache misses").
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "classify/kernels.hpp"
+
+int main() {
+  using namespace cryo;
+  bench::header("ablation_cache: L1D/L2 size vs kNN cycles",
+                "paper Table 2 footnote (cache-miss sensitivity)");
+
+  struct Config {
+    const char* name;
+    int l1_kb;
+    int l2_kb;
+  };
+  std::printf("\n%-18s | %14s %14s %14s\n", "cache config", "20 qubits",
+              "400 qubits", "1600 qubits");
+  for (const Config cfg : {Config{"L1 4KB / L2 128KB", 4, 128},
+                           Config{"L1 16KB / L2 512KB", 16, 512},
+                           Config{"L1 64KB / L2 2MB", 64, 2048}}) {
+    std::printf("%-18s |", cfg.name);
+    for (const int qubits : {20, 400, 1600}) {
+      qubit::ReadoutModel model(qubits, 31);
+      classify::KnnClassifier knn(model.calibration());
+      const auto ms = model.sample_all(std::max(4000 / qubits, 2));
+      riscv::CpuConfig cc;
+      cc.l1d.size_bytes = cfg.l1_kb * 1024;
+      cc.l1i.size_bytes = cfg.l1_kb * 1024;
+      cc.l2.size_bytes = cfg.l2_kb * 1024;
+      riscv::Cpu cpu(cc);
+      const auto stats = classify::run_knn_kernel(cpu, knn, ms);
+      std::printf(" %10.1f cyc", stats.cycles_per_classification);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\ncycles grow with qubit count once the centroid table spills the\n"
+      "L1; a larger L1/L2 flattens the curve — the knob a dedicated\n"
+      "cryo-SoC design could turn (cheap at 10 K where SRAM barely leaks,\n"
+      "the paper's 'on-chip memories can be enlarged' conclusion).\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Ablation A9 (paper Sec. VII extension): the proposed SRAM-based FPGA
+// fabric as a reconfigurable classification accelerator at 10 K —
+// resources, configuration-SRAM leakage at both temperatures, and the
+// speedup over the software kernels of Table 2.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "classify/kernels.hpp"
+#include "fpga/fabric.hpp"
+
+int main() {
+  using namespace cryo;
+  bench::header("ablation_fpga: SRAM-based FPGA classification fabric",
+                "paper Sec. VII (FPGA fabric proposal)");
+
+  // Software baseline from the ISS (Table 2 conditions, 400 qubits).
+  qubit::ReadoutModel model(400, 777);
+  const auto ms = model.sample_all(10);
+  classify::KnnClassifier knn(model.calibration());
+  classify::HdcClassifier hdc(model.calibration());
+  riscv::Cpu cpu_k(bench::flow().config().cpu);
+  riscv::Cpu cpu_h(bench::flow().config().cpu);
+  const auto sw_knn = classify::run_knn_kernel(cpu_k, knn, ms);
+  const auto sw_hdc = classify::run_hdc_kernel(cpu_h, hdc, ms);
+  const double f_cpu = 1e9;
+
+  for (const double t : {300.0, 10.0}) {
+    const auto sm = bench::flow().sram_model(t);
+    const fpga::FabricModel fabric(sm);
+    std::printf("\n== fabric at %.0f K (clock %.0f MHz) ==\n", t,
+                fabric.fabric_clock() / 1e6);
+    std::printf("%-28s %8s %8s %12s %14s %14s %16s\n", "accelerator",
+                "LUTs", "FFs", "config bits", "latency [ns]",
+                "rate [M/s]", "config leak");
+    for (const auto& est :
+         {fabric.hdc_accelerator(), fabric.knn_accelerator()}) {
+      std::printf("%-28s %8d %8d %12lld %14.2f %14.1f %13.3f mW\n",
+                  est.name, est.luts, est.flops,
+                  static_cast<long long>(est.config_bits),
+                  est.latency * 1e9, est.throughput / 1e6,
+                  est.config_leakage * 1e3);
+    }
+  }
+
+  const auto sm10 = bench::flow().sram_model(10.0);
+  const fpga::FabricModel fabric10(sm10);
+  const auto hdc_acc = fabric10.hdc_accelerator();
+  const auto knn_acc = fabric10.knn_accelerator();
+  const double sw_hdc_rate =
+      f_cpu / sw_hdc.cycles_per_classification;
+  const double sw_knn_rate =
+      f_cpu / sw_knn.cycles_per_classification;
+  std::printf("\nthroughput vs software kernels (400 qubits, 1 GHz CPU):\n");
+  std::printf("  HDC: fabric %.1f M/s vs software %.1f M/s  -> %.0fx\n",
+              hdc_acc.throughput / 1e6, sw_hdc_rate / 1e6,
+              hdc_acc.throughput / sw_hdc_rate);
+  std::printf("  kNN: fabric %.1f M/s vs software %.1f M/s  -> %.0fx\n",
+              knn_acc.throughput / 1e6, sw_knn_rate / 1e6,
+              knn_acc.throughput / sw_knn_rate);
+  std::printf(
+      "\nthe fabric's configuration SRAM leaks milliwatts at 300 K but is\n"
+      "negligible at 10 K — the asymmetry behind the paper's proposal:\n"
+      "cryogenic operation makes a reconfigurable accelerator nearly free\n"
+      "in static power while lifting the qubit ceiling of Fig. 7 by an\n"
+      "order of magnitude.\n");
+  return 0;
+}

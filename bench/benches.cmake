@@ -1,0 +1,34 @@
+# Bench binaries land in build/bench/ with nothing else, so
+# `for b in build/bench/*; do $b; done` runs exactly the reproduction
+# benches. Included from the top-level CMakeLists (not add_subdirectory)
+# to keep CMake scratch files out of that directory.
+set(CRYO_BENCHES
+  fig2_readout
+  fig3_transfer
+  fig5_delay_hist
+  table1_timing
+  fig6_power
+  table2_cycles
+  fig7_scaling
+  ablation_popcount
+  ablation_sqrt
+  ablation_hdc_precompute
+  ablation_sram
+  ablation_sizing
+  ablation_cache
+  ablation_burst
+  ablation_variation
+  ablation_fpga
+)
+
+foreach(name ${CRYO_BENCHES})
+  add_executable(${name} bench/${name}.cpp)
+  target_link_libraries(${name} PRIVATE cryo_core)
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endforeach()
+
+add_executable(perf_microbench bench/perf_microbench.cpp)
+target_link_libraries(perf_microbench PRIVATE cryo_core benchmark::benchmark)
+set_target_properties(perf_microbench PROPERTIES
+  RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

@@ -1,0 +1,56 @@
+// Fig. 2 reproduction: (a) I/Q readout classification of a 27-qubit
+// Falcon-class processor; (b) state-fidelity decay over the decoherence
+// time; (c) the classification time budget.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "classify/classifiers.hpp"
+#include "common/histogram.hpp"
+#include "common/units.hpp"
+
+int main() {
+  using namespace cryo;
+  bench::header("fig2_readout: I/Q-plane readout + decoherence decay",
+                "paper Fig. 2(a)/(b)/(c)");
+
+  qubit::ReadoutModel falcon(27, 2022);
+  const auto calib_shots = falcon.calibration_shots(200);
+  const auto eval_shots = falcon.sample_all(200);
+
+  std::printf("\n-- Fig. 2(a): 27 qubits, blob geometry and 0/1 accuracy --\n");
+  std::printf("%6s %18s %18s %8s %10s\n", "qubit", "|0> center (I,Q)",
+              "|1> center (I,Q)", "sigma", "accuracy");
+  classify::KnnClassifier knn(falcon.calibration());
+  for (int q = 0; q < falcon.n_qubits(); q += 3) {
+    const auto& c = falcon.calibration()[static_cast<std::size_t>(q)];
+    std::size_t ok = 0, n = 0;
+    for (const auto& m : eval_shots) {
+      if (m.qubit != q) continue;
+      ++n;
+      if (knn.classify(m.qubit, m.i, m.q) == m.true_state) ++ok;
+    }
+    std::printf("%6d   (%6.2f, %6.2f)   (%6.2f, %6.2f) %8.3f %9.2f%%\n", q,
+                c.i0, c.q0, c.i1, c.q1, c.sigma,
+                100.0 * static_cast<double>(ok) / static_cast<double>(n));
+  }
+  std::printf("overall kNN accuracy on %zu labelled shots: %.2f %%\n",
+              eval_shots.size(),
+              100.0 * classify::accuracy(knn, eval_shots));
+  std::printf("(calibration used %zu shots)\n", calib_shots.size());
+
+  std::printf("\n-- Fig. 2(b): state fidelity vs wait time (T = 110 us) --\n");
+  std::printf("%10s %12s\n", "t [us]", "fidelity");
+  for (double t_us = 0.0; t_us <= 125.0; t_us += 12.5) {
+    const double f = qubit::ReadoutModel::fidelity_after(t_us * 1e-6);
+    const int bar = static_cast<int>(f * 50);
+    std::printf("%10.1f %12.4f |%s\n", t_us, f, std::string(bar, '#').c_str());
+  }
+
+  std::printf("\n-- Fig. 2(c): time budget --\n");
+  std::printf(
+      "classification of the latest measurements must finish within the\n"
+      "decoherence time (%.0f us) to not bottleneck the next computation.\n",
+      kFalconDecoherenceTime * 1e6);
+  return 0;
+}

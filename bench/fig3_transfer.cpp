@@ -1,0 +1,60 @@
+// Fig. 3 reproduction: transfer characteristics of the p- and n-FinFET at
+// 10 K and 300 K, linear (|Vds| = 50 mV) and saturation (|Vds| = 750 mV),
+// measurement (symbols) vs calibrated model (lines). Printed as decade
+// columns plus the fit error the paper demonstrates visually.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "calib/extraction.hpp"
+#include "common/math.hpp"
+
+int main() {
+  using namespace cryo;
+  bench::header("fig3_transfer: measured vs calibrated I-V",
+                "paper Fig. 3(a)/(b)");
+
+  for (const auto polarity :
+       {device::Polarity::kPmos, device::Polarity::kNmos}) {
+    const bool is_n = polarity == device::Polarity::kNmos;
+    calib::SiliconOracle oracle(polarity, is_n ? 7 : 8);
+    auto campaign = calib::run_campaign(oracle);
+    const auto report = calib::extract(campaign, polarity);
+    std::printf("\n== %s-FinFET ==\n", is_n ? "n" : "p");
+    std::printf("extraction: RMS log error %.3f dec @300K, %.3f dec @10K\n",
+                report.rms_log_error_300k, report.rms_log_error_10k);
+
+    const double sign = is_n ? 1.0 : -1.0;
+    struct Panel {
+      const char* name;
+      double vds;
+    };
+    for (const Panel panel : {Panel{"(a) linear |Vds|=50mV", 0.05},
+                              Panel{"(b) saturation |Vds|=750mV", 0.75}}) {
+      std::printf("\n%s\n", panel.name);
+      std::printf("%8s | %12s %12s | %12s %12s\n", "Vgs [V]", "meas 300K",
+                  "model 300K", "meas 10K", "model 10K");
+      for (double v = 0.0; v <= 0.76; v += 0.1) {
+        const double vgs = sign * v;
+        const double vds = sign * panel.vds;
+        auto measured = [&](double t) {
+          // One fresh noisy measurement at this bias.
+          return std::abs(
+              oracle.id_vg(t, vds, {vgs}).points[0].ids);
+        };
+        const device::FinFet m300(report.card, 300.0);
+        const device::FinFet m10(report.card, 10.0);
+        std::printf("%8.2f | %12.4g %12.4g | %12.4g %12.4g\n", vgs,
+                    measured(300.0),
+                    std::abs(m300.drain_current(vgs, vds)), measured(10.0),
+                    std::abs(m10.drain_current(vgs, vds)));
+      }
+    }
+    const device::FinFet f300(report.card, 300.0);
+    const device::FinFet f10(report.card, 10.0);
+    std::printf(
+        "\nVth rise at 10K: %+.1f %% (paper: +47 %% n / +39 %% p)\n",
+        100.0 * (f10.vth() / f300.vth() - 1.0));
+  }
+  return 0;
+}

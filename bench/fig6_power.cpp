@@ -1,0 +1,72 @@
+// Fig. 6 reproduction: average power of the SoC running the kNN
+// quantum-measurement classification, decomposed into dynamic power,
+// logic leakage, and SRAM leakage at 300 K and 10 K. Paper: dynamic
+// 63.5 -> 57.4 mW; SRAM leakage 193 mW at 300 K collapsing to 0.48 mW
+// total leakage at 10 K (-99.76 %), making the SoC fit the 100 mW budget.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "classify/kernels.hpp"
+#include "common/units.hpp"
+#include "riscv/workloads.hpp"
+
+int main() {
+  using namespace cryo;
+  bench::header("fig6_power: kNN workload power breakdown",
+                "paper Fig. 6");
+
+  // Run the kNN workload to extract real switching activity (the paper
+  // rejects blanket statistical activity for exactly this reason).
+  qubit::ReadoutModel falcon(27, 11);
+  classify::KnnClassifier knn(falcon.calibration());
+  const auto ms = falcon.sample_all(100);
+  riscv::Cpu cpu(bench::flow().config().cpu);
+  const auto stats = classify::run_knn_kernel(cpu, knn, ms);
+  std::printf("\nworkload: kNN, %zu classifications, IPC %.2f, "
+              "%.1f cycles/classification\n",
+              ms.size(), stats.perf.ipc(),
+              stats.cycles_per_classification);
+
+  const double f10 = bench::flow().timing(10.0).fmax;
+  const auto profile = bench::flow().activity_from_perf(stats.perf, f10);
+
+  std::printf("\n%-8s %12s %14s %14s %12s %s\n", "T", "dynamic", "logic leak",
+              "SRAM leak", "total", "cooling check");
+  double leak300 = 0.0, leak10 = 0.0;
+  for (double t : {300.0, 10.0}) {
+    const auto p = bench::flow().workload_power(t, profile);
+    if (t > 100)
+      leak300 = p.leakage();
+    else
+      leak10 = p.leakage();
+    std::printf("%-8.0f %9.1f mW %11.2f mW %11.2f mW %9.1f mW  %s\n", t,
+                p.dynamic() * 1e3, p.leakage_logic * 1e3,
+                p.leakage_sram * 1e3, p.total() * 1e3,
+                p.total() < kCoolingBudget10K
+                    ? "fits 100 mW -> feasible"
+                    : "exceeds 100 mW -> infeasible");
+  }
+  std::printf("\nleakage reduction at 10 K: %.2f %% (paper: 99.76 %%)\n",
+              100.0 * (1.0 - leak10 / leak300));
+  std::printf("dynamic power is similar at both corners, as in the paper;\n"
+              "the SRAM leakage dominates at 300 K and vanishes at 10 K.\n");
+
+  // The paper also simulates Dhrystone "to report a general average".
+  std::printf("\n-- Dhrystone-like general-average workload --\n");
+  riscv::Cpu dcpu(bench::flow().config().cpu);
+  const auto dperf = riscv::run_dhrystone_like(dcpu, 200);
+  std::printf("IPC %.2f, %.1f %% loads/stores, %.1f %% branches\n",
+              dperf.ipc(),
+              100.0 * static_cast<double>(dperf.loads + dperf.stores) /
+                  static_cast<double>(dperf.instructions),
+              100.0 * static_cast<double>(dperf.branches) /
+                  static_cast<double>(dperf.instructions));
+  const auto dprofile = bench::flow().activity_from_perf(dperf, f10);
+  for (double t : {300.0, 10.0}) {
+    const auto p = bench::flow().workload_power(t, dprofile);
+    std::printf("  %5.0f K: dynamic %6.1f mW | leakage %7.2f mW | total "
+                "%7.1f mW\n",
+                t, p.dynamic() * 1e3, p.leakage() * 1e3, p.total() * 1e3);
+  }
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Google-benchmark microbenchmarks of the stack's hot paths: compact-model
+// evaluation (analytic vs tabulated), SPICE inverter transients, ISS
+// instruction throughput, and STA on the full SoC. These guard the
+// performance that makes full-library characterization tractable.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench_util.hpp"
+#include "device/finfet.hpp"
+#include "device/ids_cache.hpp"
+#include "riscv/cpu.hpp"
+#include "spice/engine.hpp"
+#include "sta/sta.hpp"
+
+namespace {
+
+using namespace cryo;
+
+void BM_FinFetAnalytic(benchmark::State& state) {
+  const device::FinFet fet(device::golden_nmos(), 300.0);
+  double v = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fet.drain_current(0.35 + v, 0.5));
+    v = v < 0.3 ? v + 1e-4 : 0.0;
+  }
+}
+BENCHMARK(BM_FinFetAnalytic);
+
+void BM_FinFetCached(benchmark::State& state) {
+  device::FinFet fet(device::golden_nmos(), 300.0);
+  fet.set_cache(std::make_shared<device::IdsCache>(fet));
+  double v = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fet.drain_current(0.35 + v, 0.5));
+    v = v < 0.3 ? v + 1e-4 : 0.0;
+  }
+}
+BENCHMARK(BM_FinFetCached);
+
+void BM_SpiceInverterTransient(benchmark::State& state) {
+  device::ModelCard n = device::golden_nmos();
+  n.NFIN = 2;
+  device::ModelCard p = device::golden_pmos();
+  p.NFIN = 3;
+  spice::Circuit c;
+  c.add_vsource("vdd", "vdd", "0", spice::Waveform::dc(0.7));
+  c.add_vsource("vin", "in", "0",
+                spice::Waveform::ramp(0.0, 0.7, 20e-12, 10e-12));
+  c.add_mosfet("mp", "out", "in", "vdd", device::FinFet(p, 300.0));
+  c.add_mosfet("mn", "out", "in", "0", device::FinFet(n, 300.0));
+  c.add_capacitor("out", "0", 2e-15);
+  for (auto _ : state) {
+    spice::Engine engine(c);
+    spice::TranOptions opt;
+    opt.t_stop = 200e-12;
+    benchmark::DoNotOptimize(engine.transient(opt).sample_count());
+  }
+}
+BENCHMARK(BM_SpiceInverterTransient);
+
+void BM_IssDhrystoneLike(benchmark::State& state) {
+  // A Dhrystone-flavoured integer mix (the paper's general-average
+  // workload): arithmetic, memory traffic, and branches in a loop.
+  const auto program = riscv::assemble(R"(
+      li s0, 0x40000
+      li s1, 1000
+    outer:
+      li t0, 16
+      mv t1, s0
+    inner:
+      ld t2, 0(t1)
+      addi t2, t2, 3
+      mul t3, t2, t0
+      sd t3, 8(t1)
+      andi t4, t3, 255
+      beqz t4, skip
+      xor t5, t3, t2
+      sd t5, 16(t1)
+    skip:
+      addi t1, t1, 8
+      addi t0, t0, -1
+      bnez t0, inner
+      addi s1, s1, -1
+      bnez s1, outer
+      ebreak
+  )");
+  for (auto _ : state) {
+    riscv::Cpu cpu;
+    cpu.load_program(program);
+    const auto r = cpu.run(program.base, 100'000'000);
+    benchmark::DoNotOptimize(r.cycles);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1000 * 16);
+}
+BENCHMARK(BM_IssDhrystoneLike);
+
+void BM_StaFullSoc(benchmark::State& state) {
+  auto& flow = bench::flow();
+  const auto& lib = flow.library(300.0);
+  const auto& soc = flow.soc();
+  const auto sm = flow.sram_model(300.0);
+  for (auto _ : state) {
+    sta::StaEngine engine(soc, lib, sm);
+    benchmark::DoNotOptimize(engine.run().critical_delay);
+  }
+}
+BENCHMARK(BM_StaFullSoc);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,25 @@
+// Temperature explorer: sweeps the calibrated FinFET from 300 K down to
+// 4 K and prints the figures of merit, extending the paper's two-corner
+// study to the full range (its Sec. VII "perspective" territory).
+#include <cstdio>
+
+#include "device/finfet.hpp"
+
+int main() {
+  using namespace cryo::device;
+  std::printf("%8s %10s %12s %12s %12s %14s\n", "T [K]", "Vth [V]",
+              "SS [mV/dec]", "Ion [uA]", "Ioff [A]", "Ion/Ioff");
+  for (double t : {300.0, 200.0, 150.0, 100.0, 77.0, 50.0, 25.0, 10.0, 4.0}) {
+    const FinFet n(golden_nmos(), t);
+    std::printf("%8.1f %10.4f %12.2f %12.2f %12.3g %14.3g\n", t, n.vth(),
+                n.subthreshold_swing() * 1e3, n.ion(0.7) * 1e6, n.ioff(0.7),
+                n.ion(0.7) / n.ioff(0.7));
+  }
+  std::printf("\np-FinFET at the paper's two corners:\n");
+  for (double t : {300.0, 10.0}) {
+    const FinFet p(golden_pmos(), t);
+    std::printf("  T=%5.1fK Vth=%.4f SS=%.2f mV/dec Ion=%.2f uA\n", t,
+                p.vth(), p.subthreshold_swing() * 1e3, p.ion(0.7) * 1e6);
+  }
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Characterizes the full standard-cell catalog at 300 K and 10 K and
+// writes the Liberty artifacts into lib/. Run once after checkout (or
+// whenever the device model changes); every other example and bench loads
+// the cached .lib files.
+#include <cstdio>
+
+#include "core/flow.hpp"
+
+int main() {
+  cryo::core::FlowConfig config;
+  cryo::core::CryoSocFlow flow(config);
+  for (double t : {300.0, 10.0}) {
+    const auto& lib = flow.library(t);
+    std::printf("library %s: %zu cells at %.0f K\n", lib.name.c_str(),
+                lib.cells.size(), lib.temperature);
+  }
+  std::printf("Liberty artifacts in: %s\n",
+              cryo::core::default_lib_dir().c_str());
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Quantum-measurement classification on the simulated RISC-V SoC.
+//
+// Builds an IBM-Falcon-like 27-qubit readout model, trains the paper's two
+// classifiers (kNN and HDC) on its calibration data, then runs the
+// generated RISC-V kernels on the cycle-accurate ISS — reporting accuracy,
+// cycles per classification, and whether the whole 27-qubit batch fits in
+// the 110 us decoherence window.
+#include <cstdio>
+
+#include "classify/kernels.hpp"
+#include "common/units.hpp"
+
+int main() {
+  using namespace cryo;
+
+  qubit::ReadoutModel falcon(27, /*seed=*/2022);
+  const auto measurements = falcon.sample_all(/*shots=*/200);
+  std::printf("27-qubit Falcon-like readout, %zu measurements\n",
+              measurements.size());
+
+  classify::KnnClassifier knn(falcon.calibration());
+  classify::HdcClassifier hdc(falcon.calibration());
+  std::printf("host accuracy: kNN %.2f %%  HDC %.2f %%\n",
+              100.0 * classify::accuracy(knn, measurements),
+              100.0 * classify::accuracy(hdc, measurements));
+
+  riscv::Cpu cpu_knn, cpu_hdc;
+  const auto knn_stats = classify::run_knn_kernel(cpu_knn, knn, measurements);
+  const auto hdc_stats = classify::run_hdc_kernel(cpu_hdc, hdc, measurements);
+  std::printf("RISC-V kernels (16KB L1s, 512KB L2):\n");
+  std::printf("  kNN: %5.1f cycles/classification (%4.1f instr), host match: %s\n",
+              knn_stats.cycles_per_classification,
+              knn_stats.instructions_per_classification,
+              knn_stats.matches_host ? "yes" : "NO");
+  std::printf("  HDC: %5.1f cycles/classification (%4.1f instr), host match: %s\n",
+              hdc_stats.cycles_per_classification,
+              hdc_stats.instructions_per_classification,
+              hdc_stats.matches_host ? "yes" : "NO");
+
+  const double f_clk = 1e9;  // 1 GHz, the paper's Fig. 7 operating point
+  const double t_batch =
+      27.0 * knn_stats.cycles_per_classification / f_clk;
+  std::printf(
+      "time to classify all 27 qubits at 1 GHz: %.2f us (budget %.0f us) "
+      "-> fidelity %.4f\n",
+      t_batch * 1e6, kFalconDecoherenceTime * 1e6,
+      qubit::ReadoutModel::fidelity_after(t_batch));
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Quickstart: the cryosoc stack in ~60 lines.
+//
+// Calibrates a cryo-aware FinFET modelcard against the synthetic silicon
+// oracle, characterizes an inverter at 300 K and 10 K, and prints the
+// headline cryogenic effects (threshold rise, leakage collapse, near-equal
+// delay) that drive the paper's system-level results.
+#include <cstdio>
+
+#include "calib/extraction.hpp"
+#include "charlib/characterizer.hpp"
+#include "device/finfet.hpp"
+
+int main() {
+  using namespace cryo;
+
+  // 1. "Measure" the 5-nm FinFET and calibrate a modelcard (paper Sec. III).
+  calib::SiliconOracle oracle(device::Polarity::kNmos, /*seed=*/7);
+  auto campaign = calib::run_campaign(oracle);
+  const auto report = calib::extract(campaign, device::Polarity::kNmos);
+  std::printf("calibration: RMS log error %.3f dec @300K, %.3f dec @10K\n",
+              report.rms_log_error_300k, report.rms_log_error_10k);
+
+  // 2. Inspect the calibrated device at both temperatures.
+  for (double t : {300.0, 10.0}) {
+    const device::FinFet fet(report.card, t);
+    std::printf(
+        "  T=%5.1fK  Vth=%.3f V  SS=%5.1f mV/dec  Ion=%.1f uA  Ioff=%.3g A\n",
+        t, fet.vth(), fet.subthreshold_swing() * 1e3, fet.ion(0.7) * 1e6,
+        fet.ioff(0.7));
+  }
+
+  // 3. Characterize an inverter with the calibrated devices (Sec. IV).
+  const auto pmos_report = [&] {
+    calib::SiliconOracle p_oracle(device::Polarity::kPmos, 8);
+    auto p_campaign = calib::run_campaign(p_oracle);
+    return calib::extract(p_campaign, device::Polarity::kPmos);
+  }();
+  const auto inv = cells::make_cell("INV", 1, cells::VtFlavor::kLvt);
+  for (double t : {300.0, 10.0}) {
+    charlib::CharOptions opt;
+    opt.temperature = t;
+    opt.slews = {2e-12, 8e-12, 32e-12};
+    opt.loads = {0.5e-15, 2e-15, 8e-15};
+    charlib::Characterizer ch(report.card, pmos_report.card, opt);
+    const auto cc = ch.characterize(inv);
+    std::printf(
+        "  INV_X1 @%5.1fK: delay(8ps,2fF)=%.2f ps  leakage=%.3g nW\n", t,
+        cc.arcs[0].delay.lookup(8e-12, 2e-15) * 1e12,
+        cc.leakage_avg * 1e9);
+  }
+  std::printf("Done. See examples/soc_feasibility for the full flow.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Full end-to-end feasibility study: the paper's headline question.
+//
+// Can an off-the-shelf RISC-V SoC, designed at room temperature, classify
+// qubit measurements inside a dilution refrigerator's 100 mW / 10 K stage
+// without stalling the quantum computer? This example runs the complete
+// flow (libraries -> synthesized SoC -> STA -> workload -> power) and
+// prints the verdict.
+#include <cstdio>
+
+#include "classify/kernels.hpp"
+#include "common/units.hpp"
+#include "core/flow.hpp"
+
+int main() {
+  using namespace cryo;
+
+  core::FlowConfig config;
+  config.calibrate_devices = false;  // use the golden modelcards directly
+  core::CryoSocFlow flow(config);
+
+  std::printf("== Timing (paper Table 1) ==\n");
+  const auto t300 = flow.timing(300.0);
+  const auto t10 = flow.timing(10.0);
+  std::printf("  300 K: critical path %.3f ns -> %4.0f MHz  (%s)\n",
+              t300.critical_delay * 1e9, t300.fmax / 1e6,
+              t300.critical_endpoint.c_str());
+  std::printf("  10 K:  critical path %.3f ns -> %4.0f MHz  (%+.1f %%)\n",
+              t10.critical_delay * 1e9, t10.fmax / 1e6,
+              100.0 * (t10.critical_delay / t300.critical_delay - 1.0));
+
+  std::printf("== Workload: kNN classification of 27 qubits ==\n");
+  qubit::ReadoutModel falcon(27, 11);
+  classify::KnnClassifier knn(falcon.calibration());
+  const auto ms = falcon.sample_all(100);
+  riscv::Cpu cpu(flow.config().cpu);
+  const auto stats = classify::run_knn_kernel(cpu, knn, ms);
+  std::printf("  %.1f cycles/classification, IPC %.2f, host match: %s\n",
+              stats.cycles_per_classification, stats.perf.ipc(),
+              stats.matches_host ? "yes" : "NO");
+
+  std::printf("== Power (paper Fig. 6) ==\n");
+  const auto profile = flow.activity_from_perf(stats.perf, t10.fmax);
+  for (double t : {300.0, 10.0}) {
+    const auto p = flow.workload_power(t, profile);
+    std::printf(
+        "  %5.1f K: dynamic %6.1f mW | logic leak %6.2f mW | SRAM leak "
+        "%7.2f mW | total %7.1f mW %s\n",
+        t, p.dynamic() * 1e3, p.leakage_logic * 1e3, p.leakage_sram * 1e3,
+        p.total() * 1e3,
+        p.total() < kCoolingBudget10K ? "(fits 100 mW budget)"
+                                      : "(EXCEEDS 100 mW budget)");
+  }
+
+  std::printf("== Scaling (paper Fig. 7) ==\n");
+  const double budget = kFalconDecoherenceTime;
+  for (int qubits : {27, 400, 1000, 1500, 3000}) {
+    const double t_batch =
+        qubits * stats.cycles_per_classification / t10.fmax;
+    std::printf("  %5d qubits: %7.2f us %s\n", qubits, t_batch * 1e6,
+                t_batch < budget ? "within decoherence budget"
+                                 : "BOTTLENECKS the quantum computer");
+  }
+  return 0;
+}

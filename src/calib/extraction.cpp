@@ -1,0 +1,238 @@
+#include "calib/extraction.hpp"
+
+#include <cmath>
+#include <functional>
+
+#include "device/finfet.hpp"
+
+namespace cryo::calib {
+namespace {
+
+// Log-space floor [A]: keeps residuals finite at the noise floor and
+// de-weights points dominated by measurement randomness, which the paper
+// calls out as the expected source of low-current discrepancy.
+constexpr double kLogFloor = 5e-13;
+
+// Predicate deciding whether a measured point participates in a stage.
+using PointFilter = std::function<bool(const Sweep&, const IvPoint&)>;
+
+// Builds residuals for a set of sweeps. If `log_space`, residuals are
+// log10-current differences (subthreshold emphasis); otherwise relative
+// linear differences (strong-inversion emphasis).
+std::vector<double> residuals_for(const device::ModelCard& card,
+                                  std::span<const Sweep* const> sweeps,
+                                  const PointFilter& filter, bool log_space) {
+  std::vector<double> out;
+  for (const Sweep* sweep : sweeps) {
+    const device::FinFet fet(card, sweep->temperature);
+    double i_max = 0.0;
+    for (const IvPoint& p : sweep->points)
+      i_max = std::max(i_max, std::abs(p.ids));
+    for (const IvPoint& p : sweep->points) {
+      if (!filter(*sweep, p)) continue;
+      const double sim = fet.drain_current(p.vgs, p.vds);
+      if (log_space) {
+        out.push_back(std::log10(std::abs(sim) + kLogFloor) -
+                      std::log10(std::abs(p.ids) + kLogFloor));
+      } else {
+        const double ref = std::max(std::abs(p.ids), 0.05 * i_max);
+        out.push_back((sim - p.ids) / ref);
+      }
+    }
+  }
+  return out;
+}
+
+struct Stage {
+  std::string name;
+  std::vector<FitParameter> params;
+  std::vector<const Sweep*> sweeps;
+  PointFilter filter;
+  bool log_space = true;
+  // > 1 enables a coarse grid scan that seeds LM; needed where the cost
+  // surface has flat plateaus (cryogenic stages).
+  int grid_points = 1;
+};
+
+StageReport run_stage(device::ModelCard& card, const Stage& stage) {
+  ResidualFn fn = [&](const std::vector<double>& values) {
+    device::ModelCard trial = card;
+    for (std::size_t i = 0; i < values.size(); ++i)
+      trial.set(stage.params[i].name, values[i]);
+    return residuals_for(trial, stage.sweeps, stage.filter, stage.log_space);
+  };
+  std::vector<FitParameter> params = stage.params;
+  if (stage.grid_points > 1) {
+    const auto seeded = grid_search(params, fn, stage.grid_points);
+    for (std::size_t i = 0; i < params.size(); ++i)
+      params[i].initial = seeded[i];
+  }
+  FitOptions options;
+  options.max_iterations = 80;
+  const FitResult fit = levenberg_marquardt(params, fn, options);
+  for (std::size_t i = 0; i < fit.parameters.size(); ++i)
+    card.set(stage.params[i].name, fit.parameters[i]);
+  StageReport report;
+  report.name = stage.name;
+  for (const auto& p : stage.params) report.parameters.push_back(p.name);
+  report.fit = fit;
+  return report;
+}
+
+// Point filters -----------------------------------------------------------
+
+PointFilter subthreshold(double fraction = 0.01) {
+  return [fraction](const Sweep& sweep, const IvPoint& p) {
+    double i_max = 0.0;
+    for (const IvPoint& q : sweep.points)
+      i_max = std::max(i_max, std::abs(q.ids));
+    const double mag = std::abs(p.ids);
+    return mag < fraction * i_max && mag > 3.0 * kLogFloor;
+  };
+}
+
+PointFilter strong_inversion(double fraction = 0.2) {
+  return [fraction](const Sweep& sweep, const IvPoint& p) {
+    double i_max = 0.0;
+    for (const IvPoint& q : sweep.points)
+      i_max = std::max(i_max, std::abs(q.ids));
+    return std::abs(p.ids) >= fraction * i_max;
+  };
+}
+
+PointFilter all_points() {
+  return [](const Sweep&, const IvPoint& p) {
+    return std::abs(p.ids) > 2.0 * kLogFloor;
+  };
+}
+
+FitParameter param(const device::ModelCard& card, const std::string& name,
+                   double lo, double hi) {
+  return {name, card.get(name), lo, hi};
+}
+
+}  // namespace
+
+double rms_log_error(const device::ModelCard& card,
+                     std::span<const Sweep* const> sweeps) {
+  const auto r = residuals_for(card, sweeps, all_points(), true);
+  double acc = 0.0;
+  for (double x : r) acc += x * x;
+  return r.empty() ? 0.0 : std::sqrt(acc / static_cast<double>(r.size()));
+}
+
+ExtractionReport extract(const Campaign& campaign,
+                         device::Polarity polarity) {
+  ExtractionReport report;
+  device::ModelCard card = device::initial_guess(polarity);
+
+  auto lin300 = std::vector<const Sweep*>();
+  for (const auto& s : campaign.transfer_linear_300k) lin300.push_back(&s);
+  auto sat300 = std::vector<const Sweep*>();
+  for (const auto& s : campaign.transfer_sat_300k) sat300.push_back(&s);
+  auto out300 = std::vector<const Sweep*>();
+  for (const auto& s : campaign.output_300k) out300.push_back(&s);
+  auto lin10 = std::vector<const Sweep*>();
+  for (const auto& s : campaign.transfer_linear_10k) lin10.push_back(&s);
+  auto sat10 = std::vector<const Sweep*>();
+  for (const auto& s : campaign.transfer_sat_10k) sat10.push_back(&s);
+  auto out10 = std::vector<const Sweep*>();
+  for (const auto& s : campaign.output_10k) out10.push_back(&s);
+
+  auto combine = [](std::initializer_list<std::vector<const Sweep*>> lists) {
+    std::vector<const Sweep*> out;
+    for (const auto& l : lists)
+      for (const Sweep* s : l) out.push_back(s);
+    return out;
+  };
+
+  // Stage 1: 300 K subthreshold electrostatics.
+  report.stages.push_back(run_stage(
+      card, {.name = "300K subthreshold (VTH0, CDSC, CIT)",
+             .params = {param(card, "VTH0", 0.05, 0.5),
+                        param(card, "CDSC", 1e-5, 2e-2),
+                        param(card, "CIT", 0.0, 1e-2)},
+             .sweeps = lin300,
+             .filter = subthreshold()}));
+
+  // Stage 2: 300 K mobility from the linear transfer curve.
+  report.stages.push_back(run_stage(
+      card, {.name = "300K mobility (U0, UA, EU, UD)",
+             .params = {param(card, "U0", 5e-3, 0.2),
+                        param(card, "UA", 0.05, 5.0),
+                        param(card, "EU", 0.8, 3.0),
+                        param(card, "UD", 0.0, 1.0)},
+             .sweeps = lin300,
+             .filter = all_points(),
+             .log_space = false}));
+
+  // Stage 3: series resistance from strong inversion.
+  report.stages.push_back(run_stage(
+      card, {.name = "300K series resistance (RSW, RDW)",
+             .params = {param(card, "RSW", 5.0, 300.0),
+                        param(card, "RDW", 5.0, 300.0)},
+             .sweeps = combine({lin300, out300}),
+             .filter = strong_inversion(),
+             .log_space = false}));
+
+  // Stage 4a: DIBL from the saturation subthreshold shift.
+  report.stages.push_back(run_stage(
+      card, {.name = "300K DIBL (ETA0, CDSCD)",
+             .params = {param(card, "ETA0", 0.0, 0.3),
+                        param(card, "CDSCD", 0.0, 1e-2)},
+             .sweeps = sat300,
+             .filter = subthreshold()}));
+
+  // Stage 4b: velocity saturation and CLM from saturation/output curves.
+  report.stages.push_back(run_stage(
+      card, {.name = "300K velocity saturation (VSAT, MEXP, KSATIV, LAMBDA)",
+             .params = {param(card, "VSAT", 2e4, 3e5),
+                        param(card, "MEXP", 1.2, 6.0),
+                        param(card, "KSATIV", 0.5, 2.0),
+                        param(card, "LAMBDA", 0.0, 0.3)},
+             .sweeps = combine({sat300, out300}),
+             .filter = strong_inversion(0.1),
+             .log_space = false}));
+
+  // Stage 5: cryogenic electrostatics — band-tail SS floor and VTH rise.
+  report.stages.push_back(run_stage(
+      card, {.name = "10K subthreshold (T0, TVTH, KT11, IOFF_FLOOR)",
+             .params = {param(card, "T0", 2.0, 120.0),
+                        param(card, "TVTH", 0.0, 0.3),
+                        param(card, "KT11", 0.0, 0.2),
+                        param(card, "IOFF_FLOOR", 1e-13, 2e-10)},
+             .sweeps = combine({lin10, sat10}),
+             .filter = subthreshold(),
+             .grid_points = 7}));
+
+  // Stage 6: cryogenic mobility and velocity saturation.
+  report.stages.push_back(run_stage(
+      card, {.name = "10K mobility/velocity (UA1, UD1, AT)",
+             .params = {param(card, "UA1", 0.0, 3.0),
+                        param(card, "UD1", 1.0, 10.0),
+                        param(card, "AT", -0.5, 0.8)},
+             .sweeps = combine({lin10, sat10, out10}),
+             .filter = all_points(),
+             .log_space = false,
+             .grid_points = 5}));
+
+  // Polish: joint refinement of the dominant parameters on everything.
+  report.stages.push_back(run_stage(
+      card, {.name = "joint polish (VTH0, U0, VSAT, TVTH)",
+             .params = {param(card, "VTH0", 0.05, 0.5),
+                        param(card, "U0", 5e-3, 0.2),
+                        param(card, "VSAT", 2e4, 3e5),
+                        param(card, "TVTH", 0.0, 0.3)},
+             .sweeps = campaign.all(),
+             .filter = all_points(),
+             .log_space = false}));
+
+  report.card = card;
+  const auto s300 = campaign.at_300k();
+  const auto s10 = campaign.at_10k();
+  report.rms_log_error_300k = rms_log_error(card, s300);
+  report.rms_log_error_10k = rms_log_error(card, s10);
+  return report;
+}
+
+}  // namespace cryo::calib

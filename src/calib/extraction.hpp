@@ -1,0 +1,47 @@
+// Staged modelcard extraction flow, mirroring the procedure in the paper's
+// Sec. III-A:
+//   1. 300 K subthreshold (linear bias)  -> VTH0, CDSC, CIT
+//   2. 300 K transfer, moderate/strong    -> U0, UA, EU, UD
+//   3. 300 K strong inversion             -> RSW, RDW
+//   4. 300 K saturation + output curves   -> ETA0, CDSCD, VSAT, MEXP,
+//                                            KSATIV, LAMBDA
+//   5. 10 K subthreshold                  -> T0, TVTH, KT11
+//   6. 10 K transfer/output               -> UA1, UD1, AT
+//
+// Each stage freezes everything extracted before it, exactly like a manual
+// extraction engineer working through the regimes.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "calib/measurement.hpp"
+#include "calib/optimizer.hpp"
+#include "device/modelcard.hpp"
+
+namespace cryo::calib {
+
+struct StageReport {
+  std::string name;
+  std::vector<std::string> parameters;
+  FitResult fit;
+};
+
+struct ExtractionReport {
+  device::ModelCard card;           // final calibrated modelcard
+  std::vector<StageReport> stages;
+  double rms_log_error_300k = 0.0;  // decades, across all 300 K sweeps
+  double rms_log_error_10k = 0.0;   // decades, across all 10 K sweeps
+};
+
+// Run the full staged extraction against a measurement campaign, starting
+// from the uncalibrated initial_guess() modelcard.
+ExtractionReport extract(const Campaign& campaign, device::Polarity polarity);
+
+// RMS error in log10-current space (units: decades) of `card` against the
+// given sweeps; the validation metric for Fig. 3.
+double rms_log_error(const device::ModelCard& card,
+                     std::span<const Sweep* const> sweeps);
+
+}  // namespace cryo::calib

@@ -1,0 +1,84 @@
+#include "calib/measurement.hpp"
+
+#include <cmath>
+
+#include "common/math.hpp"
+
+namespace cryo::calib {
+
+SiliconOracle::SiliconOracle(device::Polarity polarity, std::uint64_t seed,
+                             NoiseSpec noise)
+    : polarity_(polarity),
+      golden_(polarity == device::Polarity::kNmos ? device::golden_nmos()
+                                                  : device::golden_pmos()),
+      noise_(noise),
+      rng_(seed) {}
+
+double SiliconOracle::measure(double temperature, double vgs, double vds) {
+  const device::FinFet fet(golden_, temperature);
+  const double ideal = fet.drain_current(vgs, vds);
+  const double gain = 1.0 + rng_.gaussian(0.0, noise_.relative_sigma);
+  const double floor = rng_.gaussian(0.0, noise_.floor_ampere);
+  return ideal * gain + floor;
+}
+
+Sweep SiliconOracle::id_vg(double temperature, double vds,
+                           const std::vector<double>& vgs_grid) {
+  Sweep sweep;
+  sweep.temperature = temperature;
+  sweep.points.reserve(vgs_grid.size());
+  for (double vgs : vgs_grid)
+    sweep.points.push_back({vgs, vds, measure(temperature, vgs, vds)});
+  return sweep;
+}
+
+Sweep SiliconOracle::id_vd(double temperature, double vgs,
+                           const std::vector<double>& vds_grid) {
+  Sweep sweep;
+  sweep.temperature = temperature;
+  sweep.points.reserve(vds_grid.size());
+  for (double vds : vds_grid)
+    sweep.points.push_back({vgs, vds, measure(temperature, vgs, vds)});
+  return sweep;
+}
+
+std::vector<const Sweep*> Campaign::all() const {
+  std::vector<const Sweep*> out = at_300k();
+  for (const Sweep* s : at_10k()) out.push_back(s);
+  return out;
+}
+
+std::vector<const Sweep*> Campaign::at_300k() const {
+  std::vector<const Sweep*> out;
+  for (const auto& s : transfer_linear_300k) out.push_back(&s);
+  for (const auto& s : transfer_sat_300k) out.push_back(&s);
+  for (const auto& s : output_300k) out.push_back(&s);
+  return out;
+}
+
+std::vector<const Sweep*> Campaign::at_10k() const {
+  std::vector<const Sweep*> out;
+  for (const auto& s : transfer_linear_10k) out.push_back(&s);
+  for (const auto& s : transfer_sat_10k) out.push_back(&s);
+  for (const auto& s : output_10k) out.push_back(&s);
+  return out;
+}
+
+Campaign run_campaign(SiliconOracle& oracle, double vdd) {
+  const double sign =
+      oracle.polarity() == device::Polarity::kPmos ? -1.0 : 1.0;
+  Campaign c;
+  auto vg_grid = linspace(0.0, sign * vdd, 61);
+  c.transfer_linear_300k.push_back(oracle.id_vg(300.0, sign * 0.05, vg_grid));
+  c.transfer_sat_300k.push_back(oracle.id_vg(300.0, sign * 0.75, vg_grid));
+  c.transfer_linear_10k.push_back(oracle.id_vg(10.0, sign * 0.05, vg_grid));
+  c.transfer_sat_10k.push_back(oracle.id_vg(10.0, sign * 0.75, vg_grid));
+  auto vd_grid = linspace(0.0, sign * vdd, 31);
+  for (double frac : {0.5, 0.75, 1.0}) {
+    c.output_300k.push_back(oracle.id_vd(300.0, sign * vdd * frac, vd_grid));
+    c.output_10k.push_back(oracle.id_vd(10.0, sign * vdd * frac, vd_grid));
+  }
+  return c;
+}
+
+}  // namespace cryo::calib

@@ -1,0 +1,86 @@
+// Synthetic "silicon": the measurement oracle standing in for the paper's
+// cryostat measurements of 5-nm FinFETs at 300 K and 10 K.
+//
+// A hidden golden modelcard plays the role of the physical device. The
+// oracle emits noisy I-V sweep data only — the extraction flow never sees
+// the golden parameters, exactly as with real silicon. Noise is
+// multiplicative (gain/readout error) plus an additive floor, reproducing
+// the paper's observation that "intrinsic randomness of the measurements is
+// observed at lower VG".
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "device/finfet.hpp"
+#include "device/modelcard.hpp"
+
+namespace cryo::calib {
+
+// One measured bias point of an I-V sweep.
+struct IvPoint {
+  double vgs = 0.0;  // gate-source voltage [V]
+  double vds = 0.0;  // drain-source voltage [V]
+  double ids = 0.0;  // measured drain current [A] (signed)
+};
+
+// A sweep at fixed temperature; either Id-Vg (vds fixed) or Id-Vd (vgs
+// fixed) depending on which constructor method produced it.
+struct Sweep {
+  double temperature = 300.0;  // [K]
+  std::vector<IvPoint> points;
+};
+
+struct NoiseSpec {
+  double relative_sigma = 0.02;  // multiplicative readout noise
+  double floor_ampere = 1e-13;   // additive noise floor [A]
+};
+
+class SiliconOracle {
+ public:
+  // Uses the golden modelcard for `polarity` as the hidden device.
+  SiliconOracle(device::Polarity polarity, std::uint64_t seed = 42,
+                NoiseSpec noise = {});
+
+  // Id-Vg transfer sweep at fixed vds (signed, matching polarity).
+  Sweep id_vg(double temperature, double vds,
+              const std::vector<double>& vgs_grid);
+
+  // Id-Vd output sweep at fixed vgs.
+  Sweep id_vd(double temperature, double vgs,
+              const std::vector<double>& vds_grid);
+
+  device::Polarity polarity() const { return polarity_; }
+
+  // Test-only access to the hidden device (used by accuracy assertions,
+  // never by the extraction flow).
+  const device::ModelCard& golden_for_testing() const { return golden_; }
+
+ private:
+  double measure(double temperature, double vgs, double vds);
+
+  device::Polarity polarity_;
+  device::ModelCard golden_;
+  NoiseSpec noise_;
+  Rng rng_;
+};
+
+// The standard measurement campaign used by the paper reproduction: linear
+// (|vds| = 50 mV) and saturation (|vds| = 750 mV) transfer sweeps at 300 K
+// and 10 K, plus output sweeps at a few gate biases.
+struct Campaign {
+  std::vector<Sweep> transfer_linear_300k;
+  std::vector<Sweep> transfer_sat_300k;
+  std::vector<Sweep> transfer_linear_10k;
+  std::vector<Sweep> transfer_sat_10k;
+  std::vector<Sweep> output_300k;
+  std::vector<Sweep> output_10k;
+
+  std::vector<const Sweep*> all() const;
+  std::vector<const Sweep*> at_300k() const;
+  std::vector<const Sweep*> at_10k() const;
+};
+
+Campaign run_campaign(SiliconOracle& oracle, double vdd = 0.75);
+
+}  // namespace cryo::calib

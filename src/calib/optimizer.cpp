@@ -1,0 +1,192 @@
+#include "calib/optimizer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/math.hpp"
+
+namespace cryo::calib {
+namespace {
+
+double cost_of(const std::vector<double>& r) {
+  double c = 0.0;
+  for (double x : r) c += x * x;
+  return 0.5 * c;
+}
+
+// Solve (A + lambda*diag(A)) x = b in-place with Gaussian elimination and
+// partial pivoting; A is the n x n normal matrix (small: <= ~8 params).
+std::vector<double> solve_damped(std::vector<double> a, std::vector<double> b,
+                                 std::size_t n, double lambda) {
+  double trace = 0.0;
+  for (std::size_t i = 0; i < n; ++i) trace += a[i * n + i];
+  // Relative plus absolute damping: the absolute term keeps the system
+  // regular even when a parameter has (locally) no influence.
+  const double abs_damp = lambda * (trace / static_cast<double>(n) * 1e-6 +
+                                    1e-12);
+  for (std::size_t i = 0; i < n; ++i)
+    a[i * n + i] = a[i * n + i] * (1.0 + lambda) + abs_damp;
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < n; ++row)
+      if (std::abs(a[row * n + col]) > std::abs(a[pivot * n + col]))
+        pivot = row;
+    if (std::abs(a[pivot * n + col]) < 1e-300) return {};  // singular
+    if (pivot != col) {
+      for (std::size_t k = 0; k < n; ++k)
+        std::swap(a[col * n + k], a[pivot * n + k]);
+      std::swap(b[col], b[pivot]);
+    }
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double f = a[row * n + col] / a[col * n + col];
+      for (std::size_t k = col; k < n; ++k) a[row * n + k] -= f * a[col * n + k];
+      b[row] -= f * b[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double acc = b[i];
+    for (std::size_t k = i + 1; k < n; ++k) acc -= a[i * n + k] * x[k];
+    x[i] = acc / (a[i * n + i]);
+  }
+  return x;
+}
+
+}  // namespace
+
+std::vector<double> grid_search(const std::vector<FitParameter>& parameters,
+                                const ResidualFn& residuals,
+                                int points_per_axis) {
+  const std::size_t n = parameters.size();
+  std::vector<double> best(n), trial(n);
+  for (std::size_t i = 0; i < n; ++i) best[i] = parameters[i].initial;
+  double best_cost = cost_of(residuals(best));
+
+  const std::size_t total = [&] {
+    std::size_t t = 1;
+    for (std::size_t i = 0; i < n; ++i)
+      t *= static_cast<std::size_t>(points_per_axis);
+    return t;
+  }();
+  for (std::size_t idx = 0; idx < total; ++idx) {
+    std::size_t rem = idx;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto k = static_cast<int>(rem % points_per_axis);
+      rem /= points_per_axis;
+      const double t =
+          points_per_axis == 1
+              ? 0.5
+              : static_cast<double>(k) / (points_per_axis - 1);
+      trial[i] = parameters[i].lower +
+                 t * (parameters[i].upper - parameters[i].lower);
+    }
+    const double c = cost_of(residuals(trial));
+    if (c < best_cost) {
+      best_cost = c;
+      best = trial;
+    }
+  }
+  return best;
+}
+
+FitResult levenberg_marquardt(const std::vector<FitParameter>& parameters,
+                              const ResidualFn& residuals,
+                              const FitOptions& options) {
+  const std::size_t n = parameters.size();
+  if (n == 0) throw std::invalid_argument("levenberg_marquardt: no params");
+
+  // Normalization scales: optimize x where p = x * scale.
+  std::vector<double> scale(n), x(n), lo(n), hi(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Scale by the larger of the initial magnitude and a bounds-derived
+    // typical magnitude, so zero-initialized parameters still move.
+    const double span =
+        std::min(parameters[i].upper - parameters[i].lower, 1e30);
+    scale[i] = std::max({std::abs(parameters[i].initial), span / 20.0,
+                         1e-12});
+    lo[i] = parameters[i].lower / scale[i];
+    hi[i] = parameters[i].upper / scale[i];
+    x[i] = clamp(parameters[i].initial / scale[i], lo[i], hi[i]);
+  }
+
+  auto eval = [&](const std::vector<double>& xs) {
+    std::vector<double> p(n);
+    for (std::size_t i = 0; i < n; ++i) p[i] = xs[i] * scale[i];
+    return residuals(p);
+  };
+
+  std::vector<double> r = eval(x);
+  const std::size_t m = r.size();
+  double cost = cost_of(r);
+
+  FitResult result;
+  result.initial_cost = cost;
+  double lambda = options.initial_lambda;
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    ++result.iterations;
+    // Numeric Jacobian (forward differences) in normalized space.
+    std::vector<double> jac(m * n);
+    for (std::size_t j = 0; j < n; ++j) {
+      const double h = options.diff_step * std::max(std::abs(x[j]), 1.0);
+      auto xp = x;
+      xp[j] = clamp(xp[j] + h, lo[j], hi[j]);
+      const double dh = xp[j] - x[j];
+      if (std::abs(dh) < 1e-300) continue;
+      const auto rp = eval(xp);
+      for (std::size_t i = 0; i < m; ++i)
+        jac[i * n + j] = (rp[i] - r[i]) / dh;
+    }
+    // Normal equations: A = J^T J, g = -J^T r.
+    std::vector<double> a(n * n, 0.0), g(n, 0.0);
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        const double jij = jac[i * n + j];
+        g[j] -= jij * r[i];
+        for (std::size_t k = j; k < n; ++k)
+          a[j * n + k] += jij * jac[i * n + k];
+      }
+    }
+    for (std::size_t j = 0; j < n; ++j)
+      for (std::size_t k = 0; k < j; ++k) a[j * n + k] = a[k * n + j];
+
+    bool accepted = false;
+    for (int attempt = 0; attempt < 12 && !accepted; ++attempt) {
+      auto step = solve_damped(a, g, n, lambda);
+      if (step.empty()) {
+        lambda *= options.lambda_up;
+        continue;
+      }
+      auto xt = x;
+      for (std::size_t j = 0; j < n; ++j)
+        xt[j] = clamp(x[j] + step[j], lo[j], hi[j]);
+      const auto rt = eval(xt);
+      const double ct = cost_of(rt);
+      if (ct < cost) {
+        const double improvement = (cost - ct) / std::max(cost, 1e-300);
+        x = xt;
+        r = rt;
+        cost = ct;
+        lambda = std::max(lambda * options.lambda_down, 1e-12);
+        accepted = true;
+        if (improvement < options.tolerance) {
+          result.converged = true;
+          iter = options.max_iterations;  // stop outer loop
+        }
+      } else {
+        lambda *= options.lambda_up;
+      }
+    }
+    if (!accepted) {
+      result.converged = true;  // stalled: local minimum w.r.t. damping
+      break;
+    }
+  }
+
+  result.final_cost = cost;
+  result.parameters.resize(n);
+  for (std::size_t i = 0; i < n; ++i) result.parameters[i] = x[i] * scale[i];
+  return result;
+}
+
+}  // namespace cryo::calib

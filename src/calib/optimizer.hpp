@@ -1,0 +1,57 @@
+// Bounded Levenberg-Marquardt least-squares optimizer.
+//
+// Generic over the residual function so it serves both the modelcard
+// extraction stages and any future fitting task. Parameters are optimized
+// in a normalized space (scaled by their initial magnitude) to condition
+// the Jacobian, and clamped to user-supplied bounds after each step.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace cryo::calib {
+
+struct FitParameter {
+  std::string name;
+  double initial = 0.0;
+  double lower = -1e30;
+  double upper = 1e30;
+};
+
+struct FitOptions {
+  int max_iterations = 60;
+  double initial_lambda = 1e-3;
+  double lambda_up = 8.0;
+  double lambda_down = 0.4;
+  double tolerance = 1e-10;    // relative cost improvement to stop
+  double diff_step = 1e-3;     // finite-difference step in normalized space
+};
+
+struct FitResult {
+  std::vector<double> parameters;  // best values in original units
+  double initial_cost = 0.0;       // 0.5 * sum r^2 at start
+  double final_cost = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+// Residuals: maps parameter values (original units, same order as the
+// FitParameter list) to a residual vector.
+using ResidualFn =
+    std::function<std::vector<double>(const std::vector<double>&)>;
+
+FitResult levenberg_marquardt(const std::vector<FitParameter>& parameters,
+                              const ResidualFn& residuals,
+                              const FitOptions& options = {});
+
+// Exhaustive coarse scan over a per-parameter grid of `points_per_axis`
+// values spanning [lower, upper]; returns the best parameter vector. Used
+// to seed LM when the cost surface has large flat plateaus (e.g. the
+// cryogenic subthreshold stage where residuals saturate at the noise
+// floor far from the optimum).
+std::vector<double> grid_search(const std::vector<FitParameter>& parameters,
+                                const ResidualFn& residuals,
+                                int points_per_axis);
+
+}  // namespace cryo::calib

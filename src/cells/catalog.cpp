@@ -1,0 +1,539 @@
+#include "cells/celldef.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/text.hpp"
+
+namespace cryo::cells {
+namespace {
+
+// Unit fin counts; PMOS gets 3:2 to beta-match the weaker hole mobility.
+constexpr int kUnitN = 2;
+constexpr int kUnitP = 3;
+// Area per fin [um^2] for reporting (ASAP7-like density).
+constexpr double kAreaPerFin = 0.018;
+constexpr double kAreaBase = 0.05;
+
+// Helper that accumulates transistors into a CellDef with automatic
+// internal-node naming and stack-aware sizing.
+class Builder {
+ public:
+  explicit Builder(CellDef& cell) : cell_(cell) {}
+
+  std::string fresh() { return "int" + std::to_string(counter_++); }
+
+  void n(const std::string& d, const std::string& g, const std::string& s,
+         int fins) {
+    cell_.transistors.push_back({device::Polarity::kNmos,
+                                 "mn" + std::to_string(cell_.transistors.size()),
+                                 d, g, s, fins});
+  }
+  void p(const std::string& d, const std::string& g, const std::string& s,
+         int fins) {
+    cell_.transistors.push_back({device::Polarity::kPmos,
+                                 "mp" + std::to_string(cell_.transistors.size()),
+                                 d, g, s, fins});
+  }
+
+  // Static CMOS inverter driving `out` from `in`, sized by `scale` units.
+  void inverter(const std::string& in, const std::string& out, int scale) {
+    p(out, in, "vdd", kUnitP * scale);
+    n(out, in, "vss", kUnitN * scale);
+  }
+
+  // Series NMOS chain from `top` to vss, gates in order (top-most first).
+  void n_chain(const std::string& top, const std::vector<std::string>& gates,
+               int fins_each) {
+    std::string node = top;
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+      const std::string next =
+          (i + 1 == gates.size()) ? std::string("vss") : fresh();
+      n(node, gates[i], next, fins_each);
+      node = next;
+    }
+  }
+  // Series PMOS chain from `bottom` up to vdd.
+  void p_chain(const std::string& bottom,
+               const std::vector<std::string>& gates, int fins_each) {
+    std::string node = bottom;
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+      const std::string next =
+          (i + 1 == gates.size()) ? std::string("vdd") : fresh();
+      p(node, gates[i], next, fins_each);
+      node = next;
+    }
+  }
+  // Parallel devices from `out` to the rail.
+  void n_parallel(const std::string& out,
+                  const std::vector<std::string>& gates, int fins_each) {
+    for (const auto& g : gates) n(out, g, "vss", fins_each);
+  }
+  void p_parallel(const std::string& out,
+                  const std::vector<std::string>& gates, int fins_each) {
+    for (const auto& g : gates) p(out, g, "vdd", fins_each);
+  }
+
+  // Transmission gate between x and y; conducts when `ng` is high.
+  void tgate(const std::string& x, const std::string& y,
+             const std::string& ng, const std::string& pg, int scale) {
+    n(x, ng, y, kUnitN * scale);
+    p(x, pg, y, kUnitP * scale);
+  }
+
+ private:
+  CellDef& cell_;
+  int counter_ = 0;
+};
+
+// Truth-table helpers over the cell input ordering.
+std::uint32_t table_from(const std::vector<std::string>& inputs,
+                         bool (*fn)(std::uint32_t)) {
+  std::uint32_t t = 0;
+  const std::uint32_t patterns = 1u << inputs.size();
+  for (std::uint32_t pat = 0; pat < patterns; ++pat)
+    if (fn(pat)) t |= (1u << pat);
+  return t;
+}
+
+bool bit(std::uint32_t pat, int i) { return (pat >> i) & 1u; }
+
+void build_combinational(CellDef& cell, int d) {
+  Builder b(cell);
+  const std::string& base = cell.base;
+  const auto in = [&](int i) { return cell.inputs[static_cast<std::size_t>(i)]; };
+  const std::string y = "Y";
+
+  if (base == "INV") {
+    b.inverter(in(0), y, d);
+  } else if (base == "BUF") {
+    const auto mid = b.fresh();
+    b.inverter(in(0), mid, std::max(1, d / 2));
+    b.inverter(mid, y, d);
+  } else if (base == "NAND2" || base == "NAND3" || base == "NAND4") {
+    const int k = static_cast<int>(cell.inputs.size());
+    b.n_chain(y, cell.inputs, kUnitN * k * d);
+    b.p_parallel(y, cell.inputs, kUnitP * d);
+  } else if (base == "NOR2" || base == "NOR3" || base == "NOR4") {
+    const int k = static_cast<int>(cell.inputs.size());
+    b.p_chain(y, cell.inputs, kUnitP * k * d);
+    b.n_parallel(y, cell.inputs, kUnitN * d);
+  } else if (base == "AND2" || base == "AND3" || base == "AND4" ||
+             base == "OR2" || base == "OR3" || base == "OR4") {
+    const int k = static_cast<int>(cell.inputs.size());
+    const auto mid = b.fresh();
+    if (base[0] == 'A') {
+      b.n_chain(mid, cell.inputs, kUnitN * k);
+      b.p_parallel(mid, cell.inputs, kUnitP);
+    } else {
+      b.p_chain(mid, cell.inputs, kUnitP * k);
+      b.n_parallel(mid, cell.inputs, kUnitN);
+    }
+    b.inverter(mid, y, d);
+  } else if (base == "XOR2" || base == "XNOR2") {
+    const auto an = b.fresh(), bn = b.fresh();
+    b.inverter(in(0), an, 1);
+    b.inverter(in(1), bn, 1);
+    // Output = A xor B: PUN conducts for (A=1,B=0) via gates (an, B) and
+    // (A=0,B=1) via gates (A, bn); PDN for equal inputs. XNOR swaps the
+    // roles of B and bn.
+    const std::string bt = base == "XOR2" ? in(1) : bn;
+    const std::string bf = base == "XOR2" ? bn : in(1);
+    const auto m1 = b.fresh();
+    b.p(y, an, m1, kUnitP * 2 * d);
+    b.p(m1, bt, "vdd", kUnitP * 2 * d);
+    const auto m2 = b.fresh();
+    b.p(y, in(0), m2, kUnitP * 2 * d);
+    b.p(m2, bf, "vdd", kUnitP * 2 * d);
+    const auto m3 = b.fresh();
+    b.n(y, in(0), m3, kUnitN * 2 * d);
+    b.n(m3, bt, "vss", kUnitN * 2 * d);
+    const auto m4 = b.fresh();
+    b.n(y, an, m4, kUnitN * 2 * d);
+    b.n(m4, bf, "vss", kUnitN * 2 * d);
+  } else if (base == "AOI21") {
+    // Y = !((A & B) | C); inputs A,B,C.
+    const auto m = b.fresh();
+    b.n(y, in(0), m, kUnitN * 2 * d);
+    b.n(m, in(1), "vss", kUnitN * 2 * d);
+    b.n(y, in(2), "vss", kUnitN * d);
+    const auto t = b.fresh();
+    b.p(y, in(2), t, kUnitP * 2 * d);
+    b.p(t, in(0), "vdd", kUnitP * 2 * d);
+    b.p(t, in(1), "vdd", kUnitP * 2 * d);
+  } else if (base == "OAI21") {
+    // Y = !((A | B) & C).
+    const auto m = b.fresh();
+    b.p(y, in(0), m, kUnitP * 2 * d);
+    b.p(m, in(1), "vdd", kUnitP * 2 * d);
+    b.p(y, in(2), "vdd", kUnitP * d);
+    const auto t = b.fresh();
+    b.n(y, in(2), t, kUnitN * 2 * d);
+    b.n(t, in(0), "vss", kUnitN * 2 * d);
+    b.n(t, in(1), "vss", kUnitN * 2 * d);
+  } else if (base == "AOI22") {
+    // Y = !((A & B) | (C & D)).
+    const auto m1 = b.fresh(), m2 = b.fresh();
+    b.n(y, in(0), m1, kUnitN * 2 * d);
+    b.n(m1, in(1), "vss", kUnitN * 2 * d);
+    b.n(y, in(2), m2, kUnitN * 2 * d);
+    b.n(m2, in(3), "vss", kUnitN * 2 * d);
+    const auto t = b.fresh();
+    b.p(y, in(0), t, kUnitP * 2 * d);
+    b.p(y, in(1), t, kUnitP * 2 * d);
+    b.p(t, in(2), "vdd", kUnitP * 2 * d);
+    b.p(t, in(3), "vdd", kUnitP * 2 * d);
+  } else if (base == "OAI22") {
+    // Y = !((A | B) & (C | D)).
+    const auto m1 = b.fresh(), m2 = b.fresh();
+    b.p(y, in(0), m1, kUnitP * 2 * d);
+    b.p(m1, in(1), "vdd", kUnitP * 2 * d);
+    b.p(y, in(2), m2, kUnitP * 2 * d);
+    b.p(m2, in(3), "vdd", kUnitP * 2 * d);
+    const auto t = b.fresh();
+    b.n(y, in(0), t, kUnitN * 2 * d);
+    b.n(y, in(1), t, kUnitN * 2 * d);
+    b.n(t, in(2), "vss", kUnitN * 2 * d);
+    b.n(t, in(3), "vss", kUnitN * 2 * d);
+  } else if (base == "MUX2") {
+    // Y = S ? B : A; inputs A,B,S.
+    const auto sn = b.fresh(), m = b.fresh();
+    b.inverter(in(2), sn, 1);
+    // m = !((A & !S) | (B & S)) via AOI22 structure.
+    const auto m1 = b.fresh(), m2 = b.fresh();
+    b.n(m, in(0), m1, kUnitN * 2);
+    b.n(m1, sn, "vss", kUnitN * 2);
+    b.n(m, in(1), m2, kUnitN * 2);
+    b.n(m2, in(2), "vss", kUnitN * 2);
+    const auto t = b.fresh();
+    b.p(m, in(0), t, kUnitP * 2);
+    b.p(m, sn, t, kUnitP * 2);
+    b.p(t, in(1), "vdd", kUnitP * 2);
+    b.p(t, in(2), "vdd", kUnitP * 2);
+    b.inverter(m, y, d);
+  } else if (base == "HA") {
+    // S = A xor B, CO = A and B. Shares the input inverters.
+    const auto an = b.fresh(), bn = b.fresh();
+    b.inverter(in(0), an, 1);
+    b.inverter(in(1), bn, 1);
+    const auto m1 = b.fresh(), m2 = b.fresh(), m3 = b.fresh(),
+               m4 = b.fresh();
+    b.p("S", an, m1, kUnitP * 2 * d);
+    b.p(m1, in(1), "vdd", kUnitP * 2 * d);
+    b.p("S", in(0), m2, kUnitP * 2 * d);
+    b.p(m2, bn, "vdd", kUnitP * 2 * d);
+    b.n("S", in(0), m3, kUnitN * 2 * d);
+    b.n(m3, in(1), "vss", kUnitN * 2 * d);
+    b.n("S", an, m4, kUnitN * 2 * d);
+    b.n(m4, bn, "vss", kUnitN * 2 * d);
+    const auto con = b.fresh();
+    b.n_chain(con, {in(0), in(1)}, kUnitN * 2);
+    b.p_parallel(con, {in(0), in(1)}, kUnitP);
+    b.inverter(con, "CO", d);
+  } else if (base == "FA") {
+    // Mirror full adder; inputs A,B,CI; outputs S, CO.
+    const auto con = b.fresh(), sn = b.fresh();
+    const int nf = kUnitN * 2 * d, pf = kUnitP * 2 * d;
+    // con = !(A.B + CI.(A+B))
+    const auto x1 = b.fresh();
+    b.n(con, in(0), x1, nf);
+    b.n(x1, in(1), "vss", nf);
+    const auto x2 = b.fresh();
+    b.n(con, in(2), x2, nf);
+    b.n(x2, in(0), "vss", nf);
+    b.n(x2, in(1), "vss", nf);
+    const auto y1 = b.fresh();
+    b.p(con, in(0), y1, pf);
+    b.p(y1, in(1), "vdd", pf);
+    const auto y2 = b.fresh();
+    b.p(con, in(2), y2, pf);
+    b.p(y2, in(0), "vdd", pf);
+    b.p(y2, in(1), "vdd", pf);
+    // sn = !(A.B.CI + con.(A+B+CI))
+    const auto z1 = b.fresh(), z2 = b.fresh();
+    b.n(sn, in(0), z1, nf);
+    b.n(z1, in(1), z2, nf);
+    b.n(z2, in(2), "vss", nf);
+    const auto z3 = b.fresh();
+    b.n(sn, con, z3, nf);
+    b.n(z3, in(0), "vss", nf);
+    b.n(z3, in(1), "vss", nf);
+    b.n(z3, in(2), "vss", nf);
+    const auto w1 = b.fresh(), w2 = b.fresh();
+    b.p(sn, in(0), w1, pf);
+    b.p(w1, in(1), w2, pf);
+    b.p(w2, in(2), "vdd", pf);
+    const auto w3 = b.fresh();
+    b.p(sn, con, w3, pf);
+    b.p(w3, in(0), "vdd", pf);
+    b.p(w3, in(1), "vdd", pf);
+    b.p(w3, in(2), "vdd", pf);
+    b.inverter(con, "CO", d);
+    b.inverter(sn, "S", d);
+  } else {
+    throw std::invalid_argument("unknown combinational base: " + base);
+  }
+}
+
+void build_dff(CellDef& cell, int d) {
+  Builder b(cell);
+  // Clock tree: clkb = !CLK, clki = !clkb.
+  b.inverter("CLK", "clkb", 1);
+  b.inverter("clkb", "clki", 1);
+  // Master latch: transparent while CLK is low (clki low, clkb high).
+  b.tgate("D", "m1", "clkb", "clki", 1);
+  b.inverter("m1", "m2", 1);
+  b.inverter("m2", "m3", 1);
+  b.tgate("m3", "m1", "clki", "clkb", 1);
+  // Slave latch: transparent while CLK is high.
+  b.tgate("m2", "s1", "clki", "clkb", 1);
+  b.inverter("s1", "s2", 1);
+  b.inverter("s2", "s3", 1);
+  b.tgate("s3", "s1", "clkb", "clki", 1);
+  // Output buffer: Q follows D after the rising edge (s2 = !s1 = !m2 = D).
+  const auto qn = b.fresh();
+  b.inverter("s2", qn, std::max(1, d / 2));
+  b.inverter(qn, "Q", d);
+}
+
+void build_latch(CellDef& cell, int d) {
+  Builder b(cell);
+  // Transparent-high latch with enable EN.
+  b.inverter("EN", "enb", 1);
+  b.tgate("D", "l1", "EN", "enb", 1);
+  b.inverter("l1", "l2", 1);
+  b.inverter("l2", "l3", 1);
+  b.tgate("l3", "l1", "enb", "EN", 1);
+  // l2 = !l1 = !D, so a single output inverter restores Q = D.
+  b.inverter("l2", "Q", d);
+}
+
+struct BaseSpec {
+  std::vector<std::string> inputs;
+  std::vector<OutputPin> outputs;
+  bool sequential = false;
+  bool is_latch = false;
+  std::string clock;
+};
+
+BaseSpec base_spec(const std::string& base) {
+  using T = std::uint32_t;
+  auto spec = [](std::vector<std::string> ins, std::string out,
+                 bool (*fn)(T)) {
+    BaseSpec s;
+    s.outputs.push_back({std::move(out), table_from(ins, fn)});
+    s.inputs = std::move(ins);
+    return s;
+  };
+  if (base == "INV")
+    return spec({"A"}, "Y", [](T p) { return !bit(p, 0); });
+  if (base == "BUF")
+    return spec({"A"}, "Y", [](T p) { return bit(p, 0); });
+  if (base == "NAND2")
+    return spec({"A", "B"}, "Y",
+                [](T p) { return !(bit(p, 0) && bit(p, 1)); });
+  if (base == "NAND3")
+    return spec({"A", "B", "C"}, "Y",
+                [](T p) { return !(bit(p, 0) && bit(p, 1) && bit(p, 2)); });
+  if (base == "NAND4")
+    return spec({"A", "B", "C", "D"}, "Y", [](T p) {
+      return !(bit(p, 0) && bit(p, 1) && bit(p, 2) && bit(p, 3));
+    });
+  if (base == "NOR2")
+    return spec({"A", "B"}, "Y",
+                [](T p) { return !(bit(p, 0) || bit(p, 1)); });
+  if (base == "NOR3")
+    return spec({"A", "B", "C"}, "Y",
+                [](T p) { return !(bit(p, 0) || bit(p, 1) || bit(p, 2)); });
+  if (base == "NOR4")
+    return spec({"A", "B", "C", "D"}, "Y", [](T p) {
+      return !(bit(p, 0) || bit(p, 1) || bit(p, 2) || bit(p, 3));
+    });
+  if (base == "AND2")
+    return spec({"A", "B"}, "Y", [](T p) { return bit(p, 0) && bit(p, 1); });
+  if (base == "AND3")
+    return spec({"A", "B", "C"}, "Y",
+                [](T p) { return bit(p, 0) && bit(p, 1) && bit(p, 2); });
+  if (base == "AND4")
+    return spec({"A", "B", "C", "D"}, "Y", [](T p) {
+      return bit(p, 0) && bit(p, 1) && bit(p, 2) && bit(p, 3);
+    });
+  if (base == "OR2")
+    return spec({"A", "B"}, "Y", [](T p) { return bit(p, 0) || bit(p, 1); });
+  if (base == "OR3")
+    return spec({"A", "B", "C"}, "Y",
+                [](T p) { return bit(p, 0) || bit(p, 1) || bit(p, 2); });
+  if (base == "OR4")
+    return spec({"A", "B", "C", "D"}, "Y", [](T p) {
+      return bit(p, 0) || bit(p, 1) || bit(p, 2) || bit(p, 3);
+    });
+  if (base == "XOR2")
+    return spec({"A", "B"}, "Y", [](T p) { return bit(p, 0) != bit(p, 1); });
+  if (base == "XNOR2")
+    return spec({"A", "B"}, "Y", [](T p) { return bit(p, 0) == bit(p, 1); });
+  if (base == "AOI21")
+    return spec({"A", "B", "C"}, "Y",
+                [](T p) { return !((bit(p, 0) && bit(p, 1)) || bit(p, 2)); });
+  if (base == "OAI21")
+    return spec({"A", "B", "C"}, "Y",
+                [](T p) { return !((bit(p, 0) || bit(p, 1)) && bit(p, 2)); });
+  if (base == "AOI22")
+    return spec({"A", "B", "C", "D"}, "Y", [](T p) {
+      return !((bit(p, 0) && bit(p, 1)) || (bit(p, 2) && bit(p, 3)));
+    });
+  if (base == "OAI22")
+    return spec({"A", "B", "C", "D"}, "Y", [](T p) {
+      return !((bit(p, 0) || bit(p, 1)) && (bit(p, 2) || bit(p, 3)));
+    });
+  if (base == "MUX2")
+    return spec({"A", "B", "S"}, "Y",
+                [](T p) { return bit(p, 2) ? bit(p, 1) : bit(p, 0); });
+  if (base == "HA") {
+    BaseSpec s;
+    s.inputs = {"A", "B"};
+    s.outputs.push_back(
+        {"S", table_from(s.inputs, [](T p) { return bit(p, 0) != bit(p, 1); })});
+    s.outputs.push_back({"CO", table_from(s.inputs, [](T p) {
+                           return bit(p, 0) && bit(p, 1);
+                         })});
+    return s;
+  }
+  if (base == "FA") {
+    BaseSpec s;
+    s.inputs = {"A", "B", "CI"};
+    s.outputs.push_back({"S", table_from(s.inputs, [](T p) {
+                           return (bit(p, 0) != bit(p, 1)) != bit(p, 2);
+                         })});
+    s.outputs.push_back({"CO", table_from(s.inputs, [](T p) {
+                           const int n = bit(p, 0) + bit(p, 1) + bit(p, 2);
+                           return n >= 2;
+                         })});
+    return s;
+  }
+  if (base == "DFF") {
+    BaseSpec s;
+    s.inputs = {"D"};
+    s.outputs.push_back({"Q", 0});
+    s.sequential = true;
+    s.clock = "CLK";
+    return s;
+  }
+  if (base == "LATCH") {
+    BaseSpec s;
+    s.inputs = {"D"};
+    s.outputs.push_back({"Q", 0});
+    s.sequential = true;
+    s.is_latch = true;
+    s.clock = "EN";
+    return s;
+  }
+  throw std::invalid_argument("unknown cell base: " + base);
+}
+
+}  // namespace
+
+const std::vector<std::string>& base_names() {
+  static const std::vector<std::string> kBases = {
+      "INV",   "BUF",   "NAND2", "NAND3", "NAND4", "NOR2",  "NOR3",
+      "NOR4",  "AND2",  "AND3",  "AND4",  "OR2",   "OR3",   "OR4",
+      "XOR2",  "XNOR2", "AOI21", "OAI21", "AOI22", "OAI22", "MUX2",
+      "HA",    "FA",    "DFF",   "LATCH"};
+  return kBases;
+}
+
+std::vector<TimingArc> derive_arcs(const CellDef& cell) {
+  std::vector<TimingArc> arcs;
+  if (cell.sequential) {
+    // Clock-to-output arcs: rising edge launches; D held at the value that
+    // produces the respective output transition.
+    for (const auto& out : cell.outputs) {
+      arcs.push_back({cell.clock, out.name, true, true, {{"D", true}}});
+      arcs.push_back({cell.clock, out.name, true, false, {{"D", false}}});
+    }
+    return arcs;
+  }
+  const int n = static_cast<int>(cell.inputs.size());
+  for (std::size_t oi = 0; oi < cell.outputs.size(); ++oi) {
+    for (int i = 0; i < n; ++i) {
+      // Lowest-index side assignment that sensitizes input i to output oi.
+      const std::uint32_t side_patterns = 1u << (n - 1);
+      for (std::uint32_t sp = 0; sp < side_patterns; ++sp) {
+        // Expand the side pattern into a full pattern with input i = 0.
+        std::uint32_t p0 = 0;
+        int k = 0;
+        for (int j = 0; j < n; ++j) {
+          if (j == i) continue;
+          if ((sp >> k) & 1u) p0 |= (1u << j);
+          ++k;
+        }
+        const std::uint32_t p1 = p0 | (1u << i);
+        const bool f0 = cell.eval(oi, p0);
+        const bool f1 = cell.eval(oi, p1);
+        if (f0 == f1) continue;
+        std::map<std::string, bool> side;
+        for (int j = 0; j < n; ++j) {
+          if (j == i) continue;
+          side[cell.inputs[static_cast<std::size_t>(j)]] = (p0 >> j) & 1u;
+        }
+        arcs.push_back(
+            {cell.inputs[static_cast<std::size_t>(i)], cell.outputs[oi].name,
+             true, f1, side});
+        arcs.push_back(
+            {cell.inputs[static_cast<std::size_t>(i)], cell.outputs[oi].name,
+             false, f0, side});
+        break;  // canonical assignment found
+      }
+    }
+  }
+  return arcs;
+}
+
+CellDef make_cell(const std::string& base, int drive, VtFlavor flavor) {
+  const BaseSpec spec = base_spec(base);
+  CellDef cell;
+  cell.base = base;
+  cell.drive = drive;
+  cell.flavor = flavor;
+  cell.inputs = spec.inputs;
+  cell.outputs = spec.outputs;
+  cell.sequential = spec.sequential;
+  cell.is_latch = spec.is_latch;
+  cell.clock = spec.clock;
+  cell.name = base + "_X" + std::to_string(drive) +
+              (flavor == VtFlavor::kSlvt ? "_SLVT" : "");
+
+  if (base == "DFF")
+    build_dff(cell, drive);
+  else if (base == "LATCH")
+    build_latch(cell, drive);
+  else
+    build_combinational(cell, drive);
+
+  cell.arcs = derive_arcs(cell);
+  cell.area = kAreaBase + kAreaPerFin * cell.total_fins();
+  return cell;
+}
+
+std::vector<CellDef> standard_cells(const CatalogOptions& options) {
+  const std::vector<std::string> common = {"INV", "BUF", "NAND2", "NOR2"};
+  std::vector<CellDef> out;
+  for (const std::string& base : base_names()) {
+    if (!options.only_bases.empty()) {
+      bool found = false;
+      for (const auto& b : options.only_bases) found |= (b == base);
+      if (!found) continue;
+    }
+    std::vector<int> drives = options.drives;
+    for (const std::string& c : common)
+      if (c == base)
+        for (int d : options.extra_drives_common) drives.push_back(d);
+    for (int d : drives) {
+      out.push_back(make_cell(base, d, VtFlavor::kLvt));
+      if (options.include_slvt)
+        out.push_back(make_cell(base, d, VtFlavor::kSlvt));
+    }
+  }
+  return out;
+}
+
+}  // namespace cryo::cells

@@ -1,0 +1,105 @@
+// Standard-cell definitions: transistor-level topologies plus the logical
+// and timing metadata the characterization flow, synthesis, STA, and the
+// gate-level simulator need.
+//
+// The catalog mirrors the breadth of the ASAP7 cell set the paper used:
+// ~25 base functions x drive strengths x two threshold flavors ~= 200
+// variants. Cells are static CMOS; sequentials are transmission-gate
+// master-slave structures.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "device/modelcard.hpp"
+
+namespace cryo::cells {
+
+// Threshold flavor: SLVT shifts the gate work function to lower VTH
+// (faster, leakier) — the knob ASAP7 exposes the same way.
+enum class VtFlavor { kLvt, kSlvt };
+
+// Work-function delta applied to SLVT devices [eV].
+inline constexpr double kSlvtWorkFunctionDelta = -0.030;
+
+struct Transistor {
+  device::Polarity polarity = device::Polarity::kNmos;
+  std::string name;
+  std::string drain;
+  std::string gate;
+  std::string source;
+  int fins = 1;  // already scaled by drive strength
+};
+
+// One combinational timing arc: a transition on `input` (with the other
+// inputs held at the given side values) causing a transition on `output`.
+struct TimingArc {
+  std::string input;
+  std::string output;
+  bool input_rise = true;
+  bool output_rise = true;
+  std::map<std::string, bool> side_inputs;
+};
+
+struct OutputPin {
+  std::string name;
+  // Truth table over the cell's inputs: bit `p` holds the output value for
+  // input pattern `p`, where bit b of `p` is the value of inputs[b].
+  std::uint32_t truth = 0;
+};
+
+struct CellDef {
+  std::string name;   // full variant name, e.g. "NAND2_X2_SLVT"
+  std::string base;   // base function, e.g. "NAND2"
+  int drive = 1;
+  VtFlavor flavor = VtFlavor::kLvt;
+
+  std::vector<std::string> inputs;   // data inputs, characterization order
+  std::vector<OutputPin> outputs;
+  std::vector<Transistor> transistors;
+
+  bool sequential = false;
+  std::string clock;       // clock (DFF) or enable (LATCH) pin
+  bool is_latch = false;   // level-sensitive instead of edge-triggered
+
+  std::vector<TimingArc> arcs;
+
+  double area = 0.0;  // [um^2], derived from fin count
+
+  int total_fins() const {
+    int n = 0;
+    for (const auto& t : transistors) n += t.fins;
+    return n;
+  }
+  // Output value for an input pattern (combinational outputs only).
+  bool eval(std::size_t output_index, std::uint32_t pattern) const {
+    return (outputs[output_index].truth >> pattern) & 1u;
+  }
+};
+
+struct CatalogOptions {
+  std::vector<int> drives = {1, 2, 4, 8};
+  std::vector<int> extra_drives_common = {3, 6};  // for INV/BUF/NAND2/NOR2
+  bool include_slvt = true;
+  // Restrict to a subset of base names (empty = all); used by fast tests.
+  std::vector<std::string> only_bases;
+};
+
+// All cell variants of the catalog.
+std::vector<CellDef> standard_cells(const CatalogOptions& options = {});
+
+// A single variant; throws std::invalid_argument for unknown base names.
+CellDef make_cell(const std::string& base, int drive, VtFlavor flavor);
+
+// The list of base function names in the catalog.
+const std::vector<std::string>& base_names();
+
+// Derives the canonical timing arcs of a combinational cell from its truth
+// tables: for every (input, direction, output) pair, picks the
+// lowest-index side-input assignment that sensitizes the path. Exposed for
+// testing.
+std::vector<TimingArc> derive_arcs(const CellDef& cell);
+
+}  // namespace cryo::cells

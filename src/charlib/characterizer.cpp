@@ -1,0 +1,461 @@
+#include "charlib/characterizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+#include <thread>
+
+#include "common/units.hpp"
+#include "spice/engine.hpp"
+
+namespace cryo::charlib {
+namespace {
+
+// Slew is measured 10-90 %, so a full-swing linear ramp lasts slew / 0.8.
+double ramp_of(double slew) { return slew / 0.8; }
+
+// Supply energy drawn from vdd over the window [t_from, t_to]. The branch
+// current convention has current flowing out of the positive node counted
+// negative, so delivered power is -vdd * i.
+double supply_energy(const spice::TranResult& result, double vdd,
+                     double t_from, double t_to) {
+  const spice::Trace i = result.source_current("vdd");
+  double acc = 0.0;
+  for (std::size_t k = 1; k < i.time.size(); ++k) {
+    const double t0 = std::max(i.time[k - 1], t_from);
+    const double t1 = std::min(i.time[k], t_to);
+    if (t1 <= t0) continue;
+    const double i0 = i.at(t0), i1 = i.at(t1);
+    acc += 0.5 * (i0 + i1) * (t1 - t0);
+  }
+  return -vdd * acc;
+}
+
+double leakage_of(const std::vector<LeakageState>& states,
+                  std::uint32_t pattern) {
+  for (const auto& s : states)
+    if (s.pattern == pattern) return s.watts;
+  return 0.0;
+}
+
+}  // namespace
+
+Characterizer::Characterizer(device::ModelCard nmos, device::ModelCard pmos,
+                             CharOptions options)
+    : nmos_(std::move(nmos)),
+      pmos_(std::move(pmos)),
+      options_(std::move(options)) {
+  if (options_.slews.empty() || options_.loads.empty())
+    throw std::invalid_argument("Characterizer: empty NLDM grid");
+  // Tabulated currents for the four device variants (polarity x flavor).
+  for (int f = 0; f < 2; ++f) {
+    for (int p = 0; p < 2; ++p) {
+      device::ModelCard card = p == 0 ? nmos_ : pmos_;
+      card.NFIN = 1;
+      if (f == 1) card.PHIG += cells::kSlvtWorkFunctionDelta;
+      caches_[f * 2 + p] = std::make_shared<device::IdsCache>(
+          device::FinFet(card, options_.temperature));
+    }
+  }
+}
+
+spice::Circuit Characterizer::cell_circuit(
+    const cells::CellDef& cell,
+    const std::vector<std::pair<std::string, spice::Waveform>>& drives,
+    const std::string& load_pin, double load_farads) const {
+  spice::Circuit circuit;
+  circuit.add_vsource("vdd", "vdd", "0", spice::Waveform::dc(options_.vdd));
+  for (const auto& [pin, wave] : drives)
+    circuit.add_vsource("v_" + pin, pin, "0", wave);
+  const int flavor = cell.flavor == cells::VtFlavor::kSlvt ? 1 : 0;
+  for (const auto& t : cell.transistors) {
+    device::ModelCard card =
+        t.polarity == device::Polarity::kNmos ? nmos_ : pmos_;
+    card.NFIN = t.fins;
+    if (flavor == 1) card.PHIG += cells::kSlvtWorkFunctionDelta;
+    device::FinFet fet(card, options_.temperature);
+    fet.set_cache(
+        caches_[flavor * 2 +
+                (t.polarity == device::Polarity::kNmos ? 0 : 1)]);
+    circuit.add_mosfet(t.name, t.drain, t.gate, t.source, fet);
+  }
+  if (!load_pin.empty() && load_farads > 0.0)
+    circuit.add_capacitor(load_pin, "0", load_farads);
+  return circuit;
+}
+
+std::vector<LeakageState> Characterizer::measure_leakage(
+    const cells::CellDef& cell) const {
+  // Static pins: data inputs plus, for sequentials, the clock/enable.
+  std::vector<std::string> pins = cell.inputs;
+  if (cell.sequential) pins.push_back(cell.clock);
+  std::vector<LeakageState> out;
+  const std::uint32_t patterns = 1u << pins.size();
+  for (std::uint32_t pat = 0; pat < patterns; ++pat) {
+    std::vector<std::pair<std::string, spice::Waveform>> drives;
+    for (std::size_t i = 0; i < pins.size(); ++i) {
+      const double v = ((pat >> i) & 1u) ? options_.vdd : 0.0;
+      if (cell.sequential && pins[i] == cell.clock) {
+        // A bare DC solve can settle a sequential cell's keeper loop at
+        // its metastable point, which reads as a huge crowbar current.
+        // Instead, capture D with a clock pulse first, then bring the
+        // clock to the pattern value and measure the settled current.
+        drives.emplace_back(pins[i],
+                            spice::Waveform::pwl({{0.0, 0.0},
+                                                  {10e-12, 0.0},
+                                                  {14e-12, options_.vdd},
+                                                  {110e-12, options_.vdd},
+                                                  {114e-12, 0.0},
+                                                  {200e-12, 0.0},
+                                                  {204e-12, v}}));
+      } else {
+        drives.emplace_back(pins[i], spice::Waveform::dc(v));
+      }
+    }
+    spice::Circuit circuit = cell_circuit(cell, drives, "", 0.0);
+    spice::Engine engine(circuit);
+    if (cell.sequential) {
+      spice::TranOptions tran;
+      tran.t_stop = 450e-12;
+      tran.dt_max = 8e-12;
+      const auto result = engine.transient(tran);
+      // Average supply current over the final quiet window.
+      const double energy =
+          supply_energy(result, options_.vdd, 350e-12, tran.t_stop);
+      out.push_back({pat, energy / 100e-12});
+    } else {
+      const auto x = engine.dc_operating_point();
+      // vdd is the first source; its branch current is x[n_nodes].
+      const double i_vdd = x[circuit.node_count()];
+      out.push_back({pat, -options_.vdd * i_vdd});
+    }
+  }
+  return out;
+}
+
+Characterizer::ArcPoint Characterizer::simulate_arc(
+    const cells::CellDef& cell, const cells::TimingArc& arc, double slew,
+    double load, const std::vector<LeakageState>& leakage) const {
+  const double vdd = options_.vdd;
+  const double ramp = ramp_of(slew);
+  const double start = 2e-12 + 0.5 * slew;
+  const double v0 = arc.input_rise ? 0.0 : vdd;
+  const double v1 = arc.input_rise ? vdd : 0.0;
+
+  std::vector<std::pair<std::string, spice::Waveform>> drives;
+  std::uint32_t pat_init = 0;
+  for (std::size_t i = 0; i < cell.inputs.size(); ++i) {
+    const std::string& pin = cell.inputs[i];
+    if (pin == arc.input) {
+      drives.emplace_back(pin, spice::Waveform::ramp(v0, v1, start, ramp));
+      if (!arc.input_rise) pat_init |= (1u << i);
+    } else {
+      const bool high = arc.side_inputs.at(pin);
+      drives.emplace_back(pin, spice::Waveform::dc(high ? vdd : 0.0));
+      if (high) pat_init |= (1u << i);
+    }
+  }
+  std::uint32_t pat_final = pat_init;
+  for (std::size_t i = 0; i < cell.inputs.size(); ++i)
+    if (cell.inputs[i] == arc.input) pat_final ^= (1u << i);
+
+  spice::Circuit circuit = cell_circuit(cell, drives, arc.output, load);
+  spice::Engine engine(circuit);
+
+  // Adaptive window: extend if the output has not settled.
+  double settle = 80e-12 + load * 2.5e4;
+  ArcPoint point;
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    spice::TranOptions tran;
+    tran.t_stop = start + ramp + settle;
+    tran.dt_max = 6e-12;
+    const spice::TranResult result = engine.transient(tran);
+    const spice::Trace out = result.node(arc.output);
+
+    const double in50 = start + 0.5 * ramp;
+    const double t_out = out.cross(0.5 * vdd, arc.output_rise, 0.0);
+    const double o0 = arc.output_rise ? 0.0 : vdd;
+    const double o1 = arc.output_rise ? vdd : 0.0;
+    const double tslew = out.transition_time(o0, o1, 0.1, 0.9);
+    const double v_end = out.value.back();
+    const bool settled = arc.output_rise ? v_end > 0.93 * vdd
+                                         : v_end < 0.07 * vdd;
+    if (t_out > 0.0 && tslew > 0.0 && settled) {
+      point.delay = t_out - in50;
+      point.output_slew = tslew;
+      const double e_raw = supply_energy(result, vdd, 0.0, tran.t_stop);
+      const double p_leak = 0.5 * (leakage_of(leakage, pat_init) +
+                                   leakage_of(leakage, pat_final));
+      point.energy = std::max(e_raw - p_leak * tran.t_stop, 0.0);
+      return point;
+    }
+    settle *= 2.5;
+  }
+  throw std::runtime_error("simulate_arc: output did not settle for " +
+                           cell.name + " arc " + arc.input + "->" +
+                           arc.output);
+}
+
+Characterizer::ArcPoint Characterizer::simulate_clk_arc(
+    const cells::CellDef& cell, const cells::TimingArc& arc, double slew,
+    double load) const {
+  const double vdd = options_.vdd;
+  const double ramp = ramp_of(slew);
+  const bool target = arc.side_inputs.at("D");
+  // Warmup edge captures !target, measurement edge captures target. For a
+  // latch the "edge" is the enable going transparent.
+  const double e1 = 10e-12;
+  const double fall1 = 90e-12;
+  const double e2 = 220e-12;
+  const double d_switch = 150e-12;
+
+  std::vector<std::pair<std::string, spice::Waveform>> drives;
+  drives.emplace_back(
+      cell.clock,
+      spice::Waveform::pwl({{0.0, 0.0},
+                            {e1, 0.0},
+                            {e1 + 2e-12, vdd},
+                            {fall1, vdd},
+                            {fall1 + 2e-12, 0.0},
+                            {e2, 0.0},
+                            {e2 + ramp, vdd}}));
+  drives.emplace_back(
+      "D", spice::Waveform::pwl({{0.0, target ? 0.0 : vdd},
+                                 {d_switch, target ? 0.0 : vdd},
+                                 {d_switch + 2e-12, target ? vdd : 0.0}}));
+
+  spice::Circuit circuit = cell_circuit(cell, drives, arc.output, load);
+  spice::Engine engine(circuit);
+
+  double settle = 120e-12 + load * 2.5e4;
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    spice::TranOptions tran;
+    tran.t_stop = e2 + ramp + settle;
+    tran.dt_max = 6e-12;
+    const spice::TranResult result = engine.transient(tran);
+    const spice::Trace q = result.node(arc.output);
+
+    const double clk50 = e2 + 0.5 * ramp;
+    const double t_q = q.cross(0.5 * vdd, arc.output_rise, e2);
+    const double v_end = q.value.back();
+    const bool settled = arc.output_rise ? v_end > 0.93 * vdd
+                                         : v_end < 0.07 * vdd;
+    if (t_q > 0.0 && settled) {
+      ArcPoint point;
+      point.delay = t_q - clk50;
+      // Output slew around the captured transition.
+      const double o0 = arc.output_rise ? 0.0 : vdd;
+      const double o1 = arc.output_rise ? vdd : 0.0;
+      const double t10 = q.cross(o0 + 0.1 * (o1 - o0), arc.output_rise, e2);
+      const double t90 = q.cross(o0 + 0.9 * (o1 - o0), arc.output_rise, e2);
+      point.output_slew = (t10 > 0 && t90 > t10) ? t90 - t10 : 1e-12;
+      // Energy of the capture edge only: integrate from after the D move.
+      point.energy = std::max(
+          supply_energy(result, vdd, (d_switch + e2) / 2.0, tran.t_stop),
+          0.0);
+      return point;
+    }
+    settle *= 2.5;
+  }
+  throw std::runtime_error("simulate_clk_arc: no capture for " + cell.name);
+}
+
+namespace {
+
+// One capture experiment for setup/hold bisection: D moves to `target` at
+// time t_d (absolute); returns true if Q ends at the target value.
+bool capture_ok(const Characterizer& ch,
+                const std::function<spice::Circuit(
+                    const std::vector<std::pair<std::string,
+                                                spice::Waveform>>&)>& build,
+                double vdd, bool target, double t_d, double t_d_away,
+                double edge, double t_stop) {
+  (void)ch;
+  std::vector<std::pair<std::string, spice::Waveform>> drives;
+  const double e1 = 10e-12, fall1 = 90e-12;
+  drives.emplace_back("CLK", spice::Waveform::pwl({{0.0, 0.0},
+                                                        {e1, 0.0},
+                                                        {e1 + 2e-12, vdd},
+                                                        {fall1, vdd},
+                                                        {fall1 + 2e-12, 0.0},
+                                                        {edge, 0.0},
+                                                        {edge + 4e-12, vdd}}));
+  const double v_t = target ? vdd : 0.0;
+  const double v_n = target ? 0.0 : vdd;
+  std::vector<std::pair<double, double>> dw = {{0.0, v_n},
+                                               {t_d, v_n},
+                                               {t_d + 2e-12, v_t}};
+  if (t_d_away > t_d) {
+    dw.push_back({t_d_away, v_t});
+    dw.push_back({t_d_away + 2e-12, v_n});
+  }
+  drives.emplace_back("D", spice::Waveform::pwl(std::move(dw)));
+
+  spice::Circuit circuit = build(drives);
+  spice::Engine engine(circuit);
+  spice::TranOptions tran;
+  tran.t_stop = t_stop;
+  tran.dt_max = 6e-12;
+  const auto result = engine.transient(tran);
+  const double v_q = result.node("Q").value.back();
+  return target ? v_q > 0.9 * vdd : v_q < 0.1 * vdd;
+}
+
+}  // namespace
+
+double Characterizer::find_setup(const cells::CellDef& cell) const {
+  // Smallest D-before-clock offset that still captures, worst of both
+  // data polarities.
+  const auto build = [&](const std::vector<
+                         std::pair<std::string, spice::Waveform>>& drives) {
+    return cell_circuit(cell, drives, "Q", 1e-15);
+  };
+  const double edge = 220e-12;
+  const double t_stop = edge + 250e-12;
+  double worst = 0.0;
+  for (bool target : {false, true}) {
+    double pass = 80e-12;  // D this early definitely captures
+    double fail = 0.0;     // D at the edge definitely misses
+    if (!capture_ok(*this, build, options_.vdd,
+                    target, edge - pass, -1.0, edge, t_stop))
+      return 80e-12;  // pathological; report the full window
+    for (int i = 0; i < 10; ++i) {
+      const double mid = 0.5 * (pass + fail);
+      if (capture_ok(*this, build, options_.vdd,
+                     target, edge - mid, -1.0, edge, t_stop))
+        pass = mid;
+      else
+        fail = mid;
+    }
+    worst = std::max(worst, pass);
+  }
+  return worst;
+}
+
+double Characterizer::find_hold(const cells::CellDef& cell) const {
+  // Smallest D-stable-after-clock time: D moves to target well before the
+  // edge and moves away `offset` after it; capture must still succeed.
+  const auto build = [&](const std::vector<
+                         std::pair<std::string, spice::Waveform>>& drives) {
+    return cell_circuit(cell, drives, "Q", 1e-15);
+  };
+  const double edge = 220e-12;
+  const double t_stop = edge + 250e-12;
+  double worst = -20e-12;
+  for (bool target : {false, true}) {
+    double pass = 60e-12;
+    double fail = -20e-12;
+    if (!capture_ok(*this, build, options_.vdd,
+                    target, edge - 100e-12, edge + pass, edge, t_stop))
+      return 60e-12;
+    for (int i = 0; i < 10; ++i) {
+      const double mid = 0.5 * (pass + fail);
+      if (capture_ok(*this, build, options_.vdd,
+                     target, edge - 100e-12, edge + mid, edge, t_stop))
+        pass = mid;
+      else
+        fail = mid;
+    }
+    worst = std::max(worst, pass);
+  }
+  return worst;
+}
+
+CellChar Characterizer::characterize(const cells::CellDef& cell) const {
+  CellChar out;
+  out.def = cell;
+
+  // Input pin capacitances: sum of gate capacitances of attached devices.
+  std::vector<std::string> pins = cell.inputs;
+  if (cell.sequential) pins.push_back(cell.clock);
+  for (const auto& pin : pins) {
+    double cap = 0.0;
+    for (const auto& t : cell.transistors) {
+      if (t.gate != pin) continue;
+      device::ModelCard card =
+          t.polarity == device::Polarity::kNmos ? nmos_ : pmos_;
+      card.NFIN = t.fins;
+      const auto c =
+          device::FinFet(card, options_.temperature).capacitances();
+      cap += c.cgs + c.cgd;
+    }
+    out.pin_caps.emplace_back(pin, cap);
+  }
+
+  out.leakage = measure_leakage(cell);
+  double acc = 0.0;
+  for (const auto& s : out.leakage) acc += s.watts;
+  out.leakage_avg =
+      out.leakage.empty() ? 0.0 : acc / static_cast<double>(out.leakage.size());
+
+  for (const auto& arc : cell.arcs) {
+    NldmArc tables;
+    tables.input = arc.input;
+    tables.output = arc.output;
+    tables.input_rise = arc.input_rise;
+    tables.output_rise = arc.output_rise;
+    tables.delay = Table2D(options_.slews, options_.loads);
+    tables.output_slew = Table2D(options_.slews, options_.loads);
+    tables.energy = Table2D(options_.slews, options_.loads);
+    for (std::size_t i = 0; i < options_.slews.size(); ++i) {
+      for (std::size_t j = 0; j < options_.loads.size(); ++j) {
+        const ArcPoint p =
+            cell.sequential
+                ? simulate_clk_arc(cell, arc, options_.slews[i],
+                                   options_.loads[j])
+                : simulate_arc(cell, arc, options_.slews[i],
+                               options_.loads[j], out.leakage);
+        tables.delay.at(i, j) = p.delay;
+        tables.output_slew.at(i, j) = p.output_slew;
+        tables.energy.at(i, j) = p.energy;
+      }
+    }
+    out.arcs.push_back(std::move(tables));
+  }
+
+  if (cell.sequential && options_.characterize_setup_hold && !cell.is_latch) {
+    out.setup_time = find_setup(cell);
+    out.hold_time = find_hold(cell);
+  }
+  return out;
+}
+
+Library Characterizer::characterize_all(
+    std::span<const cells::CellDef> cell_defs,
+    const std::string& library_name) const {
+  Library lib;
+  lib.name = library_name;
+  lib.temperature = options_.temperature;
+  lib.vdd = options_.vdd;
+  lib.slew_grid = options_.slews;
+  lib.load_grid = options_.loads;
+  lib.cells.resize(cell_defs.size());
+
+  const unsigned n_threads =
+      options_.threads > 0
+          ? static_cast<unsigned>(options_.threads)
+          : std::max(1u, std::thread::hardware_concurrency());
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> workers;
+  std::vector<std::exception_ptr> errors(n_threads);
+  for (unsigned w = 0; w < n_threads; ++w) {
+    workers.emplace_back([&, w] {
+      try {
+        while (true) {
+          const std::size_t i = next.fetch_add(1);
+          if (i >= cell_defs.size()) break;
+          lib.cells[i] = characterize(cell_defs[i]);
+        }
+      } catch (...) {
+        errors[w] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  for (const auto& e : errors)
+    if (e) std::rethrow_exception(e);
+  return lib;
+}
+
+}  // namespace cryo::charlib

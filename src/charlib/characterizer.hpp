@@ -1,0 +1,88 @@
+// Standard-cell library characterization engine (the PrimeLib stand-in).
+//
+// For every cell and every timing arc, stimuli are generated with the side
+// inputs at their non-controlling values, the arc input driven with a
+// linear ramp, and the output loaded with a capacitor; the SPICE engine
+// simulates each (input slew x output load) grid point and the measured
+// delay / output slew / switching energy fill the NLDM tables. Leakage is
+// measured per static input state; sequential cells additionally get
+// clock-to-output arcs and setup/hold constraints found by bisection.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "cells/celldef.hpp"
+#include "charlib/library.hpp"
+#include "device/ids_cache.hpp"
+#include "device/modelcard.hpp"
+#include "spice/circuit.hpp"
+
+namespace cryo::charlib {
+
+struct CharOptions {
+  double temperature = 300.0;  // [K]
+  double vdd = 0.7;            // [V]
+  // 7x7 NLDM grid like the paper's flow; tests shrink these.
+  std::vector<double> slews = {1e-12, 2e-12, 4e-12, 8e-12,
+                               16e-12, 32e-12, 64e-12};
+  std::vector<double> loads = {0.25e-15, 0.5e-15, 1e-15, 2e-15,
+                               4e-15, 8e-15, 16e-15};
+  bool characterize_setup_hold = true;
+  int threads = 0;  // 0 = hardware concurrency
+};
+
+class Characterizer {
+ public:
+  // Modelcards are the calibrated LVT devices; SLVT variants are derived
+  // by the work-function shift in cells::kSlvtWorkFunctionDelta.
+  Characterizer(device::ModelCard nmos, device::ModelCard pmos,
+                CharOptions options);
+
+  // Characterizes a single cell.
+  CellChar characterize(const cells::CellDef& cell) const;
+
+  // Characterizes a set of cells in parallel into a library.
+  Library characterize_all(std::span<const cells::CellDef> cells,
+                           const std::string& library_name) const;
+
+  const CharOptions& options() const { return options_; }
+
+ private:
+  struct ArcPoint {
+    double delay = 0.0;
+    double output_slew = 0.0;
+    double energy = 0.0;
+  };
+
+  // Builds the transistor-level circuit of a cell with tabulated-current
+  // caches attached to every device.
+  spice::Circuit cell_circuit(
+      const cells::CellDef& cell,
+      const std::vector<std::pair<std::string, spice::Waveform>>& drives,
+      const std::string& load_pin, double load_farads) const;
+
+  // Simulates one combinational arc at one (slew, load) point.
+  ArcPoint simulate_arc(const cells::CellDef& cell,
+                        const cells::TimingArc& arc, double slew,
+                        double load,
+                        const std::vector<LeakageState>& leakage) const;
+  // Simulates one clock->output arc of a sequential cell.
+  ArcPoint simulate_clk_arc(const cells::CellDef& cell,
+                            const cells::TimingArc& arc, double slew,
+                            double load) const;
+  std::vector<LeakageState> measure_leakage(
+      const cells::CellDef& cell) const;
+  double find_setup(const cells::CellDef& cell) const;
+  double find_hold(const cells::CellDef& cell) const;
+
+  device::ModelCard nmos_;
+  device::ModelCard pmos_;
+  CharOptions options_;
+  // Tabulated currents per (polarity, flavor): [n_lvt, p_lvt, n_slvt,
+  // p_slvt]. Built once at construction, shared by all device instances.
+  std::shared_ptr<const device::IdsCache> caches_[4];
+};
+
+}  // namespace cryo::charlib

@@ -1,0 +1,113 @@
+#include "classify/classifiers.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace cryo::classify {
+
+KnnClassifier::KnnClassifier(
+    std::vector<qubit::QubitCalibration> calibration, bool use_sqrt)
+    : calib_(std::move(calibration)), use_sqrt_(use_sqrt) {}
+
+int KnnClassifier::classify(int qubit, double i, double q) const {
+  const auto& c = calib_.at(static_cast<std::size_t>(qubit));
+  double d0 = (i - c.i0) * (i - c.i0) + (q - c.q0) * (q - c.q0);
+  double d1 = (i - c.i1) * (i - c.i1) + (q - c.q1) * (q - c.q1);
+  if (use_sqrt_) {
+    // The paper notes sqrt is monotone and removes it; this branch keeps
+    // it for the ablation comparison.
+    d0 = std::sqrt(d0);
+    d1 = std::sqrt(d1);
+  }
+  return d1 < d0 ? 1 : 0;
+}
+
+HdcClassifier::HdcClassifier(
+    std::vector<qubit::QubitCalibration> calibration, HdcOptions options)
+    : calib_(std::move(calibration)), levels_(options.levels) {
+  // Quantization range: calibration centers padded by 4 sigma.
+  double lo_i = 1e30, hi_i = -1e30, lo_q = 1e30, hi_q = -1e30;
+  for (const auto& c : calib_) {
+    for (double v : {c.i0 - 4 * c.sigma, c.i1 - 4 * c.sigma})
+      lo_i = std::min(lo_i, v);
+    for (double v : {c.i0 + 4 * c.sigma, c.i1 + 4 * c.sigma})
+      hi_i = std::max(hi_i, v);
+    for (double v : {c.q0 - 4 * c.sigma, c.q1 - 4 * c.sigma})
+      lo_q = std::min(lo_q, v);
+    for (double v : {c.q0 + 4 * c.sigma, c.q1 + 4 * c.sigma})
+      hi_q = std::max(hi_q, v);
+  }
+  min_i_ = lo_i;
+  min_q_ = lo_q;
+  inv_step_i_ = levels_ / std::max(hi_i - lo_i, 1e-9);
+  inv_step_q_ = levels_ / std::max(hi_q - lo_q, 1e-9);
+
+  // Level hypervectors: start from a random base and flip a fixed random
+  // permutation of positions progressively, so adjacent levels stay
+  // similar (ordinal encoding) while distant levels are near-orthogonal.
+  Rng rng(options.seed);
+  auto make_levels = [&](std::vector<Hypervector>& out) {
+    Hypervector base = {rng.word(), rng.word()};
+    std::vector<int> order(128);
+    for (int b = 0; b < 128; ++b) order[static_cast<std::size_t>(b)] = b;
+    std::shuffle(order.begin(), order.end(), rng.engine());
+    out.assign(static_cast<std::size_t>(levels_), base);
+    const int flips_per_level = 64 / std::max(levels_ - 1, 1);
+    Hypervector cur = base;
+    int next_flip = 0;
+    for (int level = 1; level < levels_; ++level) {
+      for (int f = 0; f < flips_per_level && next_flip < 128; ++f) {
+        const int bit = order[static_cast<std::size_t>(next_flip++)];
+        cur[static_cast<std::size_t>(bit / 64)] ^= (1ull << (bit % 64));
+      }
+      out[static_cast<std::size_t>(level)] = cur;
+    }
+  };
+  make_levels(items_i_);
+  make_levels(items_q_);
+
+  // Class vectors: encode the calibration centers.
+  class_.reserve(calib_.size() * 2);
+  for (const auto& c : calib_) {
+    class_.push_back(encode(c.i0, c.q0));
+    class_.push_back(encode(c.i1, c.q1));
+  }
+  // Precomputed class-xor-item tables (paper Eq. 4).
+  pre_.reserve(class_.size() * static_cast<std::size_t>(levels_));
+  for (const auto& cls : class_)
+    for (int level = 0; level < levels_; ++level)
+      pre_.push_back(hv_xor(cls, items_i_[static_cast<std::size_t>(level)]));
+}
+
+int HdcClassifier::quantize_i(double i) const {
+  // Clamp in the floating domain first: casting a huge double to int is
+  // undefined behaviour.
+  const double x = (i - min_i_) * inv_step_i_;
+  if (!(x > 0.0)) return 0;
+  if (x >= static_cast<double>(levels_ - 1)) return levels_ - 1;
+  return static_cast<int>(x);
+}
+
+int HdcClassifier::quantize_q(double q) const {
+  const double x = (q - min_q_) * inv_step_q_;
+  if (!(x > 0.0)) return 0;
+  if (x >= static_cast<double>(levels_ - 1)) return levels_ - 1;
+  return static_cast<int>(x);
+}
+
+Hypervector HdcClassifier::encode(double i, double q) const {
+  return hv_xor(items_i_[static_cast<std::size_t>(quantize_i(i))],
+                items_q_[static_cast<std::size_t>(quantize_q(q))]);
+}
+
+int HdcClassifier::classify(int qubit, double i, double q) const {
+  const Hypervector m = encode(i, q);
+  const auto base = static_cast<std::size_t>(qubit) * 2;
+  const int d0 = hv_popcount(hv_xor(class_[base], m));
+  const int d1 = hv_popcount(hv_xor(class_[base + 1], m));
+  return d1 < d0 ? 1 : 0;
+}
+
+}  // namespace cryo::classify

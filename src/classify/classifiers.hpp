@@ -1,0 +1,103 @@
+// Host-side reference implementations of the two quantum-measurement
+// classifiers the paper evaluates (Sec. V-B): nearest-centroid kNN in the
+// I/Q plane and hyperdimensional computing (HDC) with 128-bit binary
+// hypervectors.
+//
+// These serve as the golden reference the RISC-V kernels are verified
+// against, and as the accuracy baseline for Fig. 2a.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "qubit/readout.hpp"
+
+namespace cryo::classify {
+
+// --- kNN (nearest centroid) ----------------------------------------------
+
+class KnnClassifier {
+ public:
+  // `use_sqrt` keeps the (redundant) square root the paper removes; the
+  // ablation bench compares both.
+  explicit KnnClassifier(std::vector<qubit::QubitCalibration> calibration,
+                         bool use_sqrt = false);
+
+  int classify(int qubit, double i, double q) const;
+  const std::vector<qubit::QubitCalibration>& calibration() const {
+    return calib_;
+  }
+
+ private:
+  std::vector<qubit::QubitCalibration> calib_;
+  bool use_sqrt_;
+};
+
+// --- HDC -------------------------------------------------------------------
+
+// 128-bit binary hypervector.
+using Hypervector = std::array<std::uint64_t, 2>;
+
+inline Hypervector hv_xor(const Hypervector& a, const Hypervector& b) {
+  return {a[0] ^ b[0], a[1] ^ b[1]};
+}
+inline int hv_popcount(const Hypervector& v) {
+  return __builtin_popcountll(v[0]) + __builtin_popcountll(v[1]);
+}
+
+struct HdcOptions {
+  int levels = 32;          // quantization levels per axis (paper: 32)
+  std::uint64_t seed = 99;  // item-vector generation seed
+};
+
+class HdcClassifier {
+ public:
+  HdcClassifier(std::vector<qubit::QubitCalibration> calibration,
+                HdcOptions options = {});
+
+  int classify(int qubit, double i, double q) const;
+
+  // Quantize a coordinate to a level index in [0, levels).
+  int quantize_i(double i) const;
+  int quantize_q(double q) const;
+  Hypervector encode(double i, double q) const;
+
+  // Internals exposed for the kernel data writers and tests.
+  const std::vector<Hypervector>& items_i() const { return items_i_; }
+  const std::vector<Hypervector>& items_q() const { return items_q_; }
+  // Class hypervectors: index = qubit * 2 + state.
+  const std::vector<Hypervector>& class_vectors() const { return class_; }
+  // Precomputed C xor x-item tables (paper Eq. 4 optimization):
+  // index = (qubit * 2 + state) * levels + x_level.
+  const std::vector<Hypervector>& precomputed() const { return pre_; }
+  double min_i() const { return min_i_; }
+  double min_q() const { return min_q_; }
+  double inv_step_i() const { return inv_step_i_; }
+  double inv_step_q() const { return inv_step_q_; }
+  int levels() const { return levels_; }
+
+ private:
+  std::vector<qubit::QubitCalibration> calib_;
+  int levels_;
+  double min_i_ = 0.0, inv_step_i_ = 1.0;
+  double min_q_ = 0.0, inv_step_q_ = 1.0;
+  std::vector<Hypervector> items_i_;
+  std::vector<Hypervector> items_q_;
+  std::vector<Hypervector> class_;
+  std::vector<Hypervector> pre_;
+};
+
+// Fraction of measurements classified to their true prepared state.
+template <typename Classifier>
+double accuracy(const Classifier& classifier,
+                const std::vector<qubit::Measurement>& measurements) {
+  if (measurements.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (const auto& m : measurements)
+    if (classifier.classify(m.qubit, m.i, m.q) == m.true_state) ++correct;
+  return static_cast<double>(correct) /
+         static_cast<double>(measurements.size());
+}
+
+}  // namespace cryo::classify

@@ -1,0 +1,321 @@
+#include "classify/kernels.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "riscv/assembler.hpp"
+
+namespace cryo::classify {
+namespace {
+
+// Memory map shared by both kernels.
+constexpr std::uint64_t kCodeBase = 0x10000;
+constexpr std::uint64_t kCenters = 0x00100000;  // kNN centroids
+constexpr std::uint64_t kParams = 0x00180000;   // HDC quantization params
+constexpr std::uint64_t kItemsX = 0x00181000;   // HDC x item vectors
+constexpr std::uint64_t kItemsY = 0x00182000;   // HDC y item vectors
+constexpr std::uint64_t kClassVecs = 0x00190000;  // HDC class vectors
+constexpr std::uint64_t kPreTables = 0x00200000;  // HDC precomputed tables
+constexpr std::uint64_t kMeasurements = 0x01000000;
+constexpr std::uint64_t kResults = 0x04000000;
+
+// Emits the 12-instruction RV64I popcount of `reg` (clobbers `tmp`), or a
+// single cpop when hardware support is selected.
+void emit_popcount(std::ostringstream& os, const char* reg, const char* tmp,
+                   bool use_cpop) {
+  if (use_cpop) {
+    os << "  cpop " << reg << ", " << reg << "\n";
+    return;
+  }
+  os << "  srli " << tmp << ", " << reg << ", 1\n";
+  os << "  and " << tmp << ", " << tmp << ", s1\n";
+  os << "  sub " << reg << ", " << reg << ", " << tmp << "\n";
+  os << "  and " << tmp << ", " << reg << ", s2\n";
+  os << "  srli " << reg << ", " << reg << ", 2\n";
+  os << "  and " << reg << ", " << reg << ", s2\n";
+  os << "  add " << reg << ", " << reg << ", " << tmp << "\n";
+  os << "  srli " << tmp << ", " << reg << ", 4\n";
+  os << "  add " << reg << ", " << reg << ", " << tmp << "\n";
+  os << "  and " << reg << ", " << reg << ", s3\n";
+  os << "  mul " << reg << ", " << reg << ", s4\n";
+  os << "  srli " << reg << ", " << reg << ", 56\n";
+}
+
+// Emits the clamp of `reg` into [0, 31] using `tmp` (holds 31 after).
+void emit_clamp(std::ostringstream& os, const char* reg, const char* tmp,
+                const std::string& label) {
+  os << "  bge " << reg << ", zero, " << label << "_lo\n";
+  os << "  li " << reg << ", 0\n";
+  os << label << "_lo:\n";
+  os << "  li " << tmp << ", 31\n";
+  os << "  ble " << reg << ", " << tmp << ", " << label << "_hi\n";
+  os << "  mv " << reg << ", " << tmp << "\n";
+  os << label << "_hi:\n";
+}
+
+}  // namespace
+
+std::string knn_kernel_source(const KnnKernelOptions& options) {
+  std::ostringstream os;
+  os << "# kNN quantum-measurement classifier kernel (paper Sec. V-B)\n";
+  os << "# a0=count a1=&measurements a2=&centroids a3=&results\n";
+  os << "knn_loop:\n";
+  os << "  ld t0, 0(a1)\n";          // qubit index
+  os << "  fld fa0, 8(a1)\n";        // measured I
+  os << "  fld fa1, 16(a1)\n";       // measured Q
+  os << "  slli t1, t0, 5\n";        // 32 bytes of centroids per qubit
+  os << "  add t1, t1, a2\n";
+  os << "  fld fa2, 0(t1)\n";        // i0
+  os << "  fld fa3, 8(t1)\n";        // q0
+  os << "  fld fa4, 16(t1)\n";       // i1
+  os << "  fld fa5, 24(t1)\n";       // q1
+  // Both distances interleaved so the pipelined FPU hides its latency.
+  os << "  fsub.d fa2, fa0, fa2\n";
+  os << "  fsub.d fa3, fa1, fa3\n";
+  os << "  fsub.d fa4, fa0, fa4\n";
+  os << "  fsub.d fa5, fa1, fa5\n";
+  os << "  fmul.d fa2, fa2, fa2\n";
+  os << "  fmul.d fa3, fa3, fa3\n";
+  os << "  fmul.d fa4, fa4, fa4\n";
+  os << "  fmul.d fa5, fa5, fa5\n";
+  os << "  fadd.d fa2, fa2, fa3\n";  // d0 (radicand)
+  os << "  fadd.d fa4, fa4, fa5\n";  // d1 (radicand)
+  if (options.use_sqrt) {
+    os << "  fsqrt.d fa2, fa2\n";    // the removable sqrt (ablation)
+    os << "  fsqrt.d fa4, fa4\n";
+  }
+  os << "  flt.d t2, fa4, fa2\n";    // label 1 iff d1 < d0
+  os << "  sb t2, 0(a3)\n";
+  os << "  addi a1, a1, 24\n";
+  os << "  addi a3, a3, 1\n";
+  os << "  addi a0, a0, -1\n";
+  os << "  bnez a0, knn_loop\n";
+  os << "  ebreak\n";
+  return os.str();
+}
+
+std::string hdc_kernel_source(const HdcKernelOptions& options) {
+  std::ostringstream os;
+  os << "# HDC quantum-measurement classifier kernel (paper Sec. V-B)\n";
+  os << "# a0=count a1=&measurements a3=&results a4=&params a5=&yitems\n";
+  os << "# a2=" << (options.precompute ? "&pre_tables" : "&class_vectors")
+     << " a6=&xitems\n";
+  if (!options.use_cpop) {
+    os << "  li s1, 0x5555555555555555\n";
+    os << "  li s2, 0x3333333333333333\n";
+    os << "  li s3, 0x0f0f0f0f0f0f0f0f\n";
+    os << "  li s4, 0x0101010101010101\n";
+  }
+  os << "hdc_loop:\n";
+  os << "  ld t0, 0(a1)\n";
+  os << "  fld fa0, 8(a1)\n";
+  os << "  fld fa1, 16(a1)\n";
+  // Quantize I.
+  os << "  fld fa2, 0(a4)\n";
+  os << "  fsub.d fa0, fa0, fa2\n";
+  os << "  fld fa2, 8(a4)\n";
+  os << "  fmul.d fa0, fa0, fa2\n";
+  os << "  fcvt.l.d t1, fa0\n";
+  emit_clamp(os, "t1", "t3", "qx");
+  // Quantize Q.
+  os << "  fld fa2, 16(a4)\n";
+  os << "  fsub.d fa1, fa1, fa2\n";
+  os << "  fld fa2, 24(a4)\n";
+  os << "  fmul.d fa1, fa1, fa2\n";
+  os << "  fcvt.l.d t2, fa1\n";
+  emit_clamp(os, "t2", "t3", "qy");
+  // Y item vector.
+  os << "  slli t4, t2, 4\n";
+  os << "  add t4, t4, a5\n";
+  os << "  ld s5, 0(t4)\n";
+  os << "  ld s6, 8(t4)\n";
+  if (options.precompute) {
+    // d0 = pop((C0 xor X[qx]) xor Y[qy]) via the precomputed table.
+    os << "  slli t5, t0, 10\n";  // 1024 bytes per qubit
+    os << "  add t5, t5, a2\n";
+    os << "  slli t6, t1, 4\n";
+    os << "  add t6, t6, t5\n";
+    os << "  ld s7, 0(t6)\n";
+    os << "  ld s8, 8(t6)\n";
+    os << "  xor s7, s7, s5\n";
+    os << "  xor s8, s8, s6\n";
+    emit_popcount(os, "s7", "a7", options.use_cpop);
+    emit_popcount(os, "s8", "a7", options.use_cpop);
+    os << "  add s7, s7, s8\n";  // d0
+    os << "  addi t6, t6, 512\n";
+    os << "  ld s9, 0(t6)\n";
+    os << "  ld s10, 8(t6)\n";
+    os << "  xor s9, s9, s5\n";
+    os << "  xor s10, s10, s6\n";
+    emit_popcount(os, "s9", "a7", options.use_cpop);
+    emit_popcount(os, "s10", "a7", options.use_cpop);
+    os << "  add s9, s9, s10\n";  // d1
+  } else {
+    // Naive two-XOR form: M = X[qx] xor Y[qy]; d = pop(C xor M).
+    os << "  slli t6, t1, 4\n";
+    os << "  add t6, t6, a6\n";
+    os << "  ld s7, 0(t6)\n";
+    os << "  ld s8, 8(t6)\n";
+    os << "  xor s5, s5, s7\n";  // M word 0
+    os << "  xor s6, s6, s8\n";  // M word 1
+    os << "  slli t5, t0, 5\n";  // 32 bytes of class vectors per qubit
+    os << "  add t5, t5, a2\n";
+    os << "  ld s7, 0(t5)\n";
+    os << "  ld s8, 8(t5)\n";
+    os << "  xor s7, s7, s5\n";
+    os << "  xor s8, s8, s6\n";
+    emit_popcount(os, "s7", "a7", options.use_cpop);
+    emit_popcount(os, "s8", "a7", options.use_cpop);
+    os << "  add s7, s7, s8\n";  // d0
+    os << "  ld s9, 16(t5)\n";
+    os << "  ld s10, 24(t5)\n";
+    os << "  xor s9, s9, s5\n";
+    os << "  xor s10, s10, s6\n";
+    emit_popcount(os, "s9", "a7", options.use_cpop);
+    emit_popcount(os, "s10", "a7", options.use_cpop);
+    os << "  add s9, s9, s10\n";  // d1
+  }
+  os << "  sltu t4, s9, s7\n";  // label 1 iff d1 < d0
+  os << "  sb t4, 0(a3)\n";
+  os << "  addi a1, a1, 24\n";
+  os << "  addi a3, a3, 1\n";
+  os << "  addi a0, a0, -1\n";
+  os << "  bnez a0, hdc_loop\n";
+  os << "  ebreak\n";
+  return os.str();
+}
+
+namespace {
+
+void write_measurements(riscv::Memory& mem,
+                        const std::vector<qubit::Measurement>& ms) {
+  std::uint64_t addr = kMeasurements;
+  for (const auto& m : ms) {
+    mem.write64(addr, static_cast<std::uint64_t>(m.qubit));
+    mem.write_double(addr + 8, m.i);
+    mem.write_double(addr + 16, m.q);
+    addr += 24;
+  }
+}
+
+KernelStats finish_run(riscv::Cpu& cpu, std::size_t n,
+                       const std::vector<int>& host_labels) {
+  KernelStats stats;
+  stats.perf = cpu.perf();
+  stats.cycles_per_classification =
+      static_cast<double>(stats.perf.cycles) / static_cast<double>(n);
+  stats.instructions_per_classification =
+      static_cast<double>(stats.perf.instructions) / static_cast<double>(n);
+  stats.labels.resize(n);
+  stats.matches_host = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    stats.labels[i] = cpu.memory().read8(kResults + i);
+    if (stats.labels[i] != host_labels[i]) stats.matches_host = false;
+  }
+  return stats;
+}
+
+}  // namespace
+
+KernelStats run_knn_kernel(riscv::Cpu& cpu, const KnnClassifier& reference,
+                           const std::vector<qubit::Measurement>& ms,
+                           const KnnKernelOptions& options) {
+  if (ms.empty()) throw std::invalid_argument("run_knn_kernel: no data");
+  const auto program = riscv::assemble(knn_kernel_source(options), kCodeBase);
+  cpu.load_program(program);
+  // Centroid table.
+  auto& mem = cpu.memory();
+  const auto& calib = reference.calibration();
+  for (std::size_t q = 0; q < calib.size(); ++q) {
+    const std::uint64_t a = kCenters + q * 32;
+    mem.write_double(a, calib[q].i0);
+    mem.write_double(a + 8, calib[q].q0);
+    mem.write_double(a + 16, calib[q].i1);
+    mem.write_double(a + 24, calib[q].q1);
+  }
+  write_measurements(mem, ms);
+  std::vector<int> host;
+  host.reserve(ms.size());
+  for (const auto& m : ms)
+    host.push_back(reference.classify(m.qubit, m.i, m.q));
+
+  // Two passes: the first warms the cache hierarchy (readout data is
+  // staged in the LLC by the acquisition path), the second is measured —
+  // matching the paper's steady-state averages.
+  for (int pass = 0; pass < 2; ++pass) {
+    cpu.set_reg(10, ms.size());       // a0
+    cpu.set_reg(11, kMeasurements);   // a1
+    cpu.set_reg(12, kCenters);        // a2
+    cpu.set_reg(13, kResults);        // a3
+    if (pass == 1) cpu.reset_perf();
+    const auto run = cpu.run(kCodeBase, 200'000'000ull);
+    if (!run.halted) throw std::runtime_error("knn kernel did not halt");
+  }
+  return finish_run(cpu, ms.size(), host);
+}
+
+KernelStats run_hdc_kernel(riscv::Cpu& cpu, const HdcClassifier& reference,
+                           const std::vector<qubit::Measurement>& ms,
+                           const HdcKernelOptions& options) {
+  if (ms.empty()) throw std::invalid_argument("run_hdc_kernel: no data");
+  const auto program = riscv::assemble(hdc_kernel_source(options), kCodeBase);
+  cpu.load_program(program);
+  auto& mem = cpu.memory();
+  // Quantization parameters.
+  mem.write_double(kParams, reference.min_i());
+  mem.write_double(kParams + 8, reference.inv_step_i());
+  mem.write_double(kParams + 16, reference.min_q());
+  mem.write_double(kParams + 24, reference.inv_step_q());
+  // Item vectors.
+  for (int l = 0; l < reference.levels(); ++l) {
+    const auto& xi = reference.items_i()[static_cast<std::size_t>(l)];
+    const auto& yi = reference.items_q()[static_cast<std::size_t>(l)];
+    mem.write64(kItemsX + static_cast<std::uint64_t>(l) * 16, xi[0]);
+    mem.write64(kItemsX + static_cast<std::uint64_t>(l) * 16 + 8, xi[1]);
+    mem.write64(kItemsY + static_cast<std::uint64_t>(l) * 16, yi[0]);
+    mem.write64(kItemsY + static_cast<std::uint64_t>(l) * 16 + 8, yi[1]);
+  }
+  // Class vectors (naive path): qubit-major, 32 bytes per qubit.
+  const auto& cls = reference.class_vectors();
+  for (std::size_t i = 0; i < cls.size(); ++i) {
+    mem.write64(kClassVecs + i * 16, cls[i][0]);
+    mem.write64(kClassVecs + i * 16 + 8, cls[i][1]);
+  }
+  // Precomputed tables: per qubit, P0[32] then P1[32].
+  const auto& pre = reference.precomputed();
+  const auto levels = static_cast<std::size_t>(reference.levels());
+  const std::size_t n_qubits = cls.size() / 2;
+  for (std::size_t q = 0; q < n_qubits; ++q) {
+    for (std::size_t state = 0; state < 2; ++state) {
+      for (std::size_t l = 0; l < levels; ++l) {
+        const auto& v = pre[(q * 2 + state) * levels + l];
+        const std::uint64_t a =
+            kPreTables + q * 1024 + state * 512 + l * 16;
+        mem.write64(a, v[0]);
+        mem.write64(a + 8, v[1]);
+      }
+    }
+  }
+  write_measurements(mem, ms);
+  std::vector<int> host;
+  host.reserve(ms.size());
+  for (const auto& m : ms)
+    host.push_back(reference.classify(m.qubit, m.i, m.q));
+
+  // Warm-up pass then measured pass (see run_knn_kernel).
+  for (int pass = 0; pass < 2; ++pass) {
+    cpu.set_reg(10, ms.size());  // a0
+    cpu.set_reg(11, kMeasurements);
+    cpu.set_reg(12, options.precompute ? kPreTables : kClassVecs);
+    cpu.set_reg(13, kResults);
+    cpu.set_reg(14, kParams);  // a4
+    cpu.set_reg(15, kItemsY);  // a5
+    cpu.set_reg(16, kItemsX);  // a6
+    if (pass == 1) cpu.reset_perf();
+    const auto run = cpu.run(kCodeBase, 500'000'000ull);
+    if (!run.halted) throw std::runtime_error("hdc kernel did not halt");
+  }
+  return finish_run(cpu, ms.size(), host);
+}
+
+}  // namespace cryo::classify

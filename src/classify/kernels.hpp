@@ -1,0 +1,51 @@
+// RISC-V kernel generation and execution for the two classifiers.
+//
+// Generates the assembly the paper's C code would compile to, places the
+// calibration tables and measurement stream into the simulated memory,
+// runs the kernel on the ISS, and verifies the kernel's labels against
+// the host reference classifier. Knobs correspond to the paper's
+// discussion points: sqrt elimination (Sec. V-B), the precomputed
+// class-xor-item tables (Eq. 4), and hardware popcount (Sec. VI-C).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "classify/classifiers.hpp"
+#include "qubit/readout.hpp"
+#include "riscv/cpu.hpp"
+
+namespace cryo::classify {
+
+struct KnnKernelOptions {
+  bool use_sqrt = false;  // keep the removable square root (ablation)
+};
+
+struct HdcKernelOptions {
+  bool precompute = true;  // use the C xor x-item tables (paper Eq. 4)
+  bool use_cpop = false;   // Zbb hardware popcount (needs cfg.has_zbb)
+};
+
+// Generated assembly sources (also used by documentation and tests).
+std::string knn_kernel_source(const KnnKernelOptions& options = {});
+std::string hdc_kernel_source(const HdcKernelOptions& options = {});
+
+struct KernelStats {
+  double cycles_per_classification = 0.0;
+  double instructions_per_classification = 0.0;
+  std::vector<int> labels;
+  riscv::Perf perf;
+  bool matches_host = false;  // kernel labels == host classifier labels
+};
+
+// Runs the kNN kernel over `measurements` on `cpu` (memory is populated
+// here). Timing counters are reset right before execution.
+KernelStats run_knn_kernel(riscv::Cpu& cpu, const KnnClassifier& reference,
+                           const std::vector<qubit::Measurement>& measurements,
+                           const KnnKernelOptions& options = {});
+
+KernelStats run_hdc_kernel(riscv::Cpu& cpu, const HdcClassifier& reference,
+                           const std::vector<qubit::Measurement>& measurements,
+                           const HdcKernelOptions& options = {});
+
+}  // namespace cryo::classify

@@ -1,0 +1,76 @@
+// Fixed-bin histogram used for library-wide delay statistics (paper Fig. 5)
+// and report rendering.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/text.hpp"
+
+namespace cryo {
+
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins)
+      : lo_(lo), hi_(hi), counts_(bins, 0) {
+    if (bins == 0 || hi <= lo)
+      throw std::invalid_argument("Histogram: bad range or bin count");
+  }
+
+  void add(double x) {
+    if (x < lo_) {
+      ++underflow_;
+      return;
+    }
+    if (x >= hi_) {
+      ++overflow_;
+      return;
+    }
+    const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+    ++counts_[static_cast<std::size_t>((x - lo_) / w)];
+    ++total_;
+  }
+
+  void add_all(std::span<const double> xs) {
+    for (double x : xs) add(x);
+  }
+
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::size_t total() const { return total_; }
+  std::size_t underflow() const { return underflow_; }
+  std::size_t overflow() const { return overflow_; }
+  double bin_lo(std::size_t bin) const {
+    return lo_ + (hi_ - lo_) * static_cast<double>(bin) /
+                     static_cast<double>(counts_.size());
+  }
+  double bin_hi(std::size_t bin) const { return bin_lo(bin + 1); }
+
+  // ASCII rendering, one row per bin, bar length scaled to the peak bin.
+  std::string render(std::size_t width = 50,
+                     const std::string& unit = "") const {
+    std::size_t peak = 1;
+    for (std::size_t c : counts_) peak = c > peak ? c : peak;
+    std::string out;
+    for (std::size_t b = 0; b < counts_.size(); ++b) {
+      const std::size_t len = counts_[b] * width / peak;
+      out += strprintf("  [%10.4g, %10.4g) %s |%s %zu\n", bin_lo(b), bin_hi(b),
+                       unit.c_str(), std::string(len, '#').c_str(),
+                       counts_[b]);
+    }
+    return out;
+  }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+};
+
+}  // namespace cryo

@@ -1,0 +1,118 @@
+// Small numeric helpers shared by the device model, characterization
+// engine, and analysis tools.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace cryo {
+
+// Clamp helper with the arguments in (value, lo, hi) order.
+constexpr double clamp(double v, double lo, double hi) {
+  return std::min(std::max(v, lo), hi);
+}
+
+// Linear interpolation between a and b with parameter t in [0, 1].
+constexpr double lerp(double a, double b, double t) { return a + (b - a) * t; }
+
+// Smooth (C1) maximum of (x, 0) with smoothing width `eps`; used to keep
+// device equations differentiable through regime boundaries.
+inline double smooth_relu(double x, double eps) {
+  return 0.5 * (x + std::sqrt(x * x + eps * eps));
+}
+
+// Numerically safe exp that saturates instead of overflowing; the device
+// model evaluates exponentials of large negative/positive arguments during
+// Newton iterations far from the solution.
+inline double safe_exp(double x) {
+  constexpr double kMax = 700.0;
+  return std::exp(clamp(x, -kMax, kMax));
+}
+
+// log(1 + exp(x)) without overflow; the canonical smooth transition between
+// subthreshold (exponential) and strong inversion (linear) regimes.
+inline double softplus(double x) {
+  if (x > 40.0) return x;
+  if (x < -40.0) return safe_exp(x);
+  return std::log1p(std::exp(x));
+}
+
+// Derivative of softplus: the logistic function.
+inline double logistic(double x) {
+  if (x > 40.0) return 1.0;
+  if (x < -40.0) return safe_exp(x);
+  return 1.0 / (1.0 + std::exp(-x));
+}
+
+// Relative difference with a floor to avoid division blow-ups near zero.
+inline double relative_error(double measured, double reference,
+                             double floor = 1e-30) {
+  const double denom = std::max(std::abs(reference), floor);
+  return std::abs(measured - reference) / denom;
+}
+
+// Root-mean-square of a sequence.
+inline double rms(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : xs) acc += x * x;
+  return std::sqrt(acc / static_cast<double>(xs.size()));
+}
+
+// Arithmetic mean.
+inline double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : xs) acc += x;
+  return acc / static_cast<double>(xs.size());
+}
+
+// Sample standard deviation (n - 1 in the denominator).
+inline double stddev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+// Evenly spaced grid of `n` points covering [lo, hi] inclusive.
+inline std::vector<double> linspace(double lo, double hi, std::size_t n) {
+  if (n == 0) return {};
+  if (n == 1) return {lo};
+  std::vector<double> out(n);
+  const double step = (hi - lo) / static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] = lo + step * static_cast<double>(i);
+  out.back() = hi;
+  return out;
+}
+
+// Logarithmically spaced grid of `n` points covering [lo, hi], lo > 0.
+inline std::vector<double> logspace(double lo, double hi, std::size_t n) {
+  if (lo <= 0.0 || hi <= 0.0)
+    throw std::invalid_argument("logspace requires positive bounds");
+  auto grid = linspace(std::log(lo), std::log(hi), n);
+  for (double& g : grid) g = std::exp(g);
+  return grid;
+}
+
+// Piecewise-linear interpolation of y(x) on a sorted grid; clamps outside.
+inline double interp1(std::span<const double> xs, std::span<const double> ys,
+                      double x) {
+  if (xs.size() != ys.size() || xs.empty())
+    throw std::invalid_argument("interp1: mismatched or empty grids");
+  if (x <= xs.front()) return ys.front();
+  if (x >= xs.back()) return ys.back();
+  const auto it = std::upper_bound(xs.begin(), xs.end(), x);
+  const std::size_t hi = static_cast<std::size_t>(it - xs.begin());
+  const std::size_t lo = hi - 1;
+  const double t = (x - xs[lo]) / (xs[hi] - xs[lo]);
+  return lerp(ys[lo], ys[hi], t);
+}
+
+}  // namespace cryo

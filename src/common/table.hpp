@@ -1,0 +1,102 @@
+// Two-dimensional lookup table with bilinear interpolation.
+//
+// This is the NLDM (non-linear delay model) primitive: characterization
+// fills delay / slew / energy tables indexed by (input slew, output load),
+// and STA/power read them back with bilinear interpolation, extrapolating
+// linearly outside the characterized box the way commercial signoff tools do.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace cryo {
+
+class Table2D {
+ public:
+  Table2D() = default;
+
+  // `rows` indexes axis-1 (e.g. input slew), `cols` indexes axis-2 (load).
+  // Axes must be strictly increasing.
+  Table2D(std::vector<double> axis1, std::vector<double> axis2)
+      : axis1_(std::move(axis1)),
+        axis2_(std::move(axis2)),
+        values_(axis1_.size() * axis2_.size(), 0.0) {
+    validate_axis(axis1_);
+    validate_axis(axis2_);
+  }
+
+  std::size_t rows() const { return axis1_.size(); }
+  std::size_t cols() const { return axis2_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  const std::vector<double>& axis1() const { return axis1_; }
+  const std::vector<double>& axis2() const { return axis2_; }
+  const std::vector<double>& values() const { return values_; }
+
+  double& at(std::size_t i, std::size_t j) { return values_[i * cols() + j]; }
+  double at(std::size_t i, std::size_t j) const {
+    return values_[i * cols() + j];
+  }
+
+  // Bilinear interpolation with linear extrapolation outside the grid.
+  double lookup(double x1, double x2) const {
+    if (empty()) throw std::logic_error("Table2D::lookup on empty table");
+    if (rows() == 1 && cols() == 1) return at(0, 0);
+    const auto [i, t1] = segment(axis1_, x1);
+    const auto [j, t2] = segment(axis2_, x2);
+    if (rows() == 1) {
+      return at(0, j) * (1.0 - t2) + at(0, j + 1) * t2;
+    }
+    if (cols() == 1) {
+      return at(i, 0) * (1.0 - t1) + at(i + 1, 0) * t1;
+    }
+    const double v00 = at(i, j), v01 = at(i, j + 1);
+    const double v10 = at(i + 1, j), v11 = at(i + 1, j + 1);
+    const double lo = v00 * (1.0 - t2) + v01 * t2;
+    const double hi = v10 * (1.0 - t2) + v11 * t2;
+    return lo * (1.0 - t1) + hi * t1;
+  }
+
+  // Minimum / maximum stored value; handy for library-wide statistics.
+  double min_value() const {
+    double m = values_.front();
+    for (double v : values_) m = v < m ? v : m;
+    return m;
+  }
+  double max_value() const {
+    double m = values_.front();
+    for (double v : values_) m = v > m ? v : m;
+    return m;
+  }
+
+ private:
+  static void validate_axis(const std::vector<double>& axis) {
+    if (axis.empty()) throw std::invalid_argument("Table2D: empty axis");
+    for (std::size_t i = 1; i < axis.size(); ++i)
+      if (axis[i] <= axis[i - 1])
+        throw std::invalid_argument("Table2D: axis not strictly increasing");
+  }
+
+  // Returns (segment index, parameter) such that the query sits at
+  // axis[i] + t * (axis[i+1] - axis[i]); t may fall outside [0,1] to
+  // implement linear extrapolation.
+  static std::pair<std::size_t, double> segment(
+      const std::vector<double>& axis, double x) {
+    if (axis.size() == 1) return {0, 0.0};
+    std::size_t i = 0;
+    if (x >= axis.back())
+      i = axis.size() - 2;
+    else if (x > axis.front())
+      while (i + 2 < axis.size() && axis[i + 1] <= x) ++i;
+    const double t = (x - axis[i]) / (axis[i + 1] - axis[i]);
+    return {i, t};
+  }
+
+  std::vector<double> axis1_;
+  std::vector<double> axis2_;
+  std::vector<double> values_;
+};
+
+}  // namespace cryo

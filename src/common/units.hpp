@@ -1,0 +1,45 @@
+// Physical constants and unit helpers used across the cryosoc stack.
+//
+// All internal quantities are SI unless a suffix says otherwise:
+// volts, amperes, seconds, watts, farads, kelvin. Helper constants give
+// readable literals for the common engineering magnitudes (ns, pF, mW, ...).
+#pragma once
+
+namespace cryo {
+
+// Boltzmann constant [J/K].
+inline constexpr double kBoltzmann = 1.380649e-23;
+// Elementary charge [C].
+inline constexpr double kElementaryCharge = 1.602176634e-19;
+// Boltzmann constant in eV/K (k/q).
+inline constexpr double kBoltzmannEv = kBoltzmann / kElementaryCharge;
+
+// Thermal voltage kT/q [V] at temperature `t_kelvin`.
+constexpr double thermal_voltage(double t_kelvin) {
+  return kBoltzmannEv * t_kelvin;
+}
+
+// Magnitude prefixes. Multiply to convert into SI, divide to convert out.
+inline constexpr double kMilli = 1e-3;
+inline constexpr double kMicro = 1e-6;
+inline constexpr double kNano = 1e-9;
+inline constexpr double kPico = 1e-12;
+inline constexpr double kFemto = 1e-15;
+inline constexpr double kKilo = 1e3;
+inline constexpr double kMega = 1e6;
+inline constexpr double kGiga = 1e9;
+
+// Reference temperatures used throughout the paper reproduction [K].
+inline constexpr double kRoomTemperature = 300.0;
+inline constexpr double kCryoTemperature = 10.0;
+
+// Cooling capacity available to the SoC at 10 K per Sebastiano et al. [W].
+inline constexpr double kCoolingBudget10K = 100e-3;
+// Cooling capacity at 0.1 K [W].
+inline constexpr double kCoolingBudget100mK = 10e-3;
+
+// Decoherence time budget of the IBM Falcon processor measured by the
+// paper [s]; classification of all qubits must finish within this window.
+inline constexpr double kFalconDecoherenceTime = 110e-6;
+
+}  // namespace cryo

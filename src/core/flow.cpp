@@ -1,0 +1,182 @@
+#include "core/flow.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <stdexcept>
+
+#include "liberty/liberty.hpp"
+#include "synth/synth.hpp"
+
+namespace cryo::core {
+namespace fs = std::filesystem;
+
+std::string default_lib_dir() {
+  if (const char* env = std::getenv("CRYOSOC_LIB_DIR")) return env;
+  // Accept a candidate only if it already holds the artifacts (otherwise
+  // an unrelated directory like the system /lib could match).
+  for (const char* candidate : {"lib", "../lib", "../../lib", "../../../lib"}) {
+    std::error_code ec;
+    if (fs::exists(fs::path(candidate) / "cryo5_300k.lib", ec))
+      return candidate;
+  }
+  return "lib";
+}
+
+CryoSocFlow::CryoSocFlow(FlowConfig config) : config_(std::move(config)) {
+  if (config_.lib_dir.empty()) config_.lib_dir = default_lib_dir();
+}
+
+void CryoSocFlow::ensure_devices() {
+  if (nmos_) return;
+  if (!config_.calibrate_devices) {
+    nmos_ = device::golden_nmos();
+    pmos_ = device::golden_pmos();
+    return;
+  }
+  calib::SiliconOracle oracle_n(device::Polarity::kNmos, config_.seed);
+  auto campaign_n = calib::run_campaign(oracle_n, config_.vdd + 0.05);
+  report_n_ = calib::extract(campaign_n, device::Polarity::kNmos);
+  nmos_ = report_n_->card;
+  calib::SiliconOracle oracle_p(device::Polarity::kPmos, config_.seed + 1);
+  auto campaign_p = calib::run_campaign(oracle_p, config_.vdd + 0.05);
+  report_p_ = calib::extract(campaign_p, device::Polarity::kPmos);
+  pmos_ = report_p_->card;
+}
+
+const device::ModelCard& CryoSocFlow::nmos() {
+  ensure_devices();
+  return *nmos_;
+}
+
+const device::ModelCard& CryoSocFlow::pmos() {
+  ensure_devices();
+  return *pmos_;
+}
+
+const calib::ExtractionReport& CryoSocFlow::extraction_report(
+    device::Polarity p) {
+  ensure_devices();
+  const auto& report = p == device::Polarity::kNmos ? report_n_ : report_p_;
+  if (!report)
+    throw std::logic_error("extraction_report: calibration disabled");
+  return *report;
+}
+
+const charlib::Library& CryoSocFlow::library(double temperature) {
+  auto& slot = temperature < 100.0 ? lib10_ : lib300_;
+  if (slot) return *slot;
+  const std::string name =
+      temperature < 100.0 ? "cryo5_10k" : "cryo5_300k";
+  const fs::path path = fs::path(config_.lib_dir) / (name + ".lib");
+  std::error_code ec;
+  if (fs::exists(path, ec)) {
+    slot = liberty::read_file(path.string());
+    return *slot;
+  }
+  ensure_devices();
+  charlib::CharOptions options;
+  options.temperature = temperature < 100.0 ? 10.0 : 300.0;
+  options.vdd = config_.vdd;
+  charlib::Characterizer characterizer(*nmos_, *pmos_, options);
+  const auto defs = cells::standard_cells(config_.catalog);
+  slot = characterizer.characterize_all(defs, name);
+  fs::create_directories(config_.lib_dir, ec);
+  try {
+    liberty::write_file(*slot, path.string());
+  } catch (const std::exception&) {
+    // Cache write failure is non-fatal (read-only checkout).
+  }
+  return *slot;
+}
+
+const netlist::Netlist& CryoSocFlow::soc() {
+  if (soc_) return *soc_;
+  soc_ = netlist::build_soc(config_.soc);
+  synth::optimize(*soc_, library(300.0));
+  return *soc_;
+}
+
+sram::SramModel CryoSocFlow::sram_model(double temperature) {
+  ensure_devices();
+  return sram::SramModel(*nmos_, *pmos_, temperature, config_.vdd);
+}
+
+sta::TimingReport CryoSocFlow::timing(double temperature) {
+  const auto& lib = library(temperature);
+  const auto sm = sram_model(temperature);
+  sta::StaEngine engine(soc(), lib, sm);
+  return engine.run();
+}
+
+power::PowerReport CryoSocFlow::workload_power(
+    double temperature, const power::ActivityProfile& profile) {
+  const auto& lib = library(temperature);
+  const auto sm = sram_model(temperature);
+  power::PowerAnalyzer analyzer(soc(), lib, sm);
+  return analyzer.analyze(profile);
+}
+
+power::ActivityProfile CryoSocFlow::activity_from_perf(
+    const riscv::Perf& perf, double clock_frequency) const {
+  power::ActivityProfile p;
+  p.clock_frequency = clock_frequency;
+  const double cycles = static_cast<double>(std::max<std::uint64_t>(
+      perf.cycles, 1));
+  const double ipc = static_cast<double>(perf.instructions) / cycles;
+  const double alu_rate = static_cast<double>(perf.alu_ops) / cycles;
+  const double mul_rate = static_cast<double>(perf.mul_ops +
+                                              perf.fpu_ops) / cycles;
+  const double mem_rate =
+      static_cast<double>(perf.loads + perf.stores) / cycles;
+  const double l1d_miss_rate =
+      static_cast<double>(perf.l1d_misses) / cycles;
+  const double l1i_miss_rate =
+      static_cast<double>(perf.l1i_misses) / cycles;
+
+  // Per-unit toggle probabilities: instance-name prefixes from the SoC
+  // generator. Roughly half the datapath bits toggle on an active cycle.
+  p.unit_activity = {
+      {"pc", 0.30 + 0.2 * ipc},
+      {"pcadd", 0.25},
+      {"if_id", 0.4 * ipc},
+      {"dec", 0.3 * ipc},
+      {"rf", 0.20 * ipc},
+      {"rp", 0.25 * ipc},
+      {"id_ex", 0.35 * ipc},
+      {"alu", 0.45 * alu_rate + 0.1 * ipc},
+      {"mul", 0.50 * mul_rate},
+      {"br", 0.2 * ipc},
+      {"ex_mem", 0.35 * ipc},
+      {"tagcmp", 0.5 * mem_rate},
+      {"waysel", 0.5 * mem_rate},
+      {"lalign", 0.5 * mem_rate},
+      {"hit", 0.3 * mem_rate},
+      {"wb", 0.3 * ipc},
+      {"mem_wb", 0.35 * ipc},
+      {"fobuf", 0.15 * ipc},
+      {"l1i", 0.4 * ipc},
+      {"l1d", 0.5 * mem_rate},
+      {"l2", 0.5 * (l1d_miss_rate + l1i_miss_rate)},
+  };
+  p.default_activity = 0.05;
+
+  // SRAM access rates by macro-name prefix (per macro: bank interleaving
+  // spreads accesses, so divide L1 data rates by the bank count).
+  const double ifetch_rate = 0.5 * ipc;  // two instructions per 64-bit word
+  p.sram_reads_per_cycle = {
+      {"l1i_data", ifetch_rate / 4.0},
+      {"l1i_tags", ifetch_rate},
+      {"l1d_data", mem_rate / 4.0},
+      {"l1d_tags", mem_rate},
+      {"l2_data", l1d_miss_rate + l1i_miss_rate},
+      {"l2_tags", l1d_miss_rate + l1i_miss_rate},
+      {"l2_state", l1d_miss_rate + l1i_miss_rate},
+  };
+  p.sram_writes_per_cycle = {
+      {"l1d_data", static_cast<double>(perf.stores) / cycles / 4.0},
+      {"l2_data", 0.5 * (l1d_miss_rate + l1i_miss_rate)},
+  };
+  return p;
+}
+
+}  // namespace cryo::core

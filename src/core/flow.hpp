@@ -1,0 +1,86 @@
+// cryosoc top-level flow: the paper's methodology (Fig. 1) as one API.
+//
+//   measurements -> calibrated modelcard -> standard-cell libraries at
+//   300 K / 10 K -> synthesized RISC-V SoC -> STA + power at both
+//   temperatures -> workload simulation (kNN / HDC kernels on the ISS)
+//   -> feasibility versus the cooling budget and decoherence deadline.
+//
+// Characterized libraries are cached as Liberty files (lib/*.lib) so the
+// expensive SPICE characterization runs once; benches and examples load
+// the artifacts afterwards.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "calib/extraction.hpp"
+#include "charlib/characterizer.hpp"
+#include "netlist/soc_gen.hpp"
+#include "riscv/cpu.hpp"
+#include "power/power.hpp"
+#include "sram/sram.hpp"
+#include "sta/sta.hpp"
+
+namespace cryo::core {
+
+struct FlowConfig {
+  double vdd = 0.7;
+  cells::CatalogOptions catalog;
+  netlist::SocConfig soc;
+  riscv::CpuConfig cpu;
+  // Directory for Liberty artifacts; empty = search lib/, ../lib,
+  // ../../lib, else characterize into ./lib.
+  std::string lib_dir;
+  // When true (default) calibrate the modelcards from the synthetic
+  // silicon oracle; when false use the golden cards directly (fast tests).
+  bool calibrate_devices = true;
+  std::uint64_t seed = 42;
+};
+
+// Resolves the Liberty artifact directory (see FlowConfig::lib_dir).
+std::string default_lib_dir();
+
+class CryoSocFlow {
+ public:
+  explicit CryoSocFlow(FlowConfig config = {});
+
+  // Calibrated devices (runs the extraction flow on first use).
+  const device::ModelCard& nmos();
+  const device::ModelCard& pmos();
+  const calib::ExtractionReport& extraction_report(device::Polarity p);
+
+  // Characterized library at `temperature` (300 or 10 K), loaded from the
+  // Liberty cache when available.
+  const charlib::Library& library(double temperature);
+
+  // The synthesized SoC netlist (built and optimized with the 300 K
+  // library, as the paper does).
+  const netlist::Netlist& soc();
+
+  sram::SramModel sram_model(double temperature);
+  sta::TimingReport timing(double temperature);
+  power::PowerReport workload_power(double temperature,
+                                    const power::ActivityProfile& profile);
+
+  // Translates ISS performance counters into the per-unit activity
+  // profile the power analyzer consumes.
+  power::ActivityProfile activity_from_perf(const riscv::Perf& perf,
+                                            double clock_frequency) const;
+
+  const FlowConfig& config() const { return config_; }
+
+ private:
+  void ensure_devices();
+
+  FlowConfig config_;
+  std::optional<device::ModelCard> nmos_;
+  std::optional<device::ModelCard> pmos_;
+  std::optional<calib::ExtractionReport> report_n_;
+  std::optional<calib::ExtractionReport> report_p_;
+  std::optional<charlib::Library> lib300_;
+  std::optional<charlib::Library> lib10_;
+  std::optional<netlist::Netlist> soc_;
+};
+
+}  // namespace cryo::core

@@ -1,0 +1,100 @@
+// Cryo-aware analytic FinFET compact model ("mini-CMG").
+//
+// A charge-based, single-piece I-V model that is smooth (C1) across all
+// operating regimes so the circuit simulator's Newton iterations converge
+// robustly. The temperature model reproduces the cryogenic effects the
+// paper's Sec. III-A enumerates:
+//   * VTH increase toward 10 K (measured +47 % nFET / +39 % pFET),
+//   * subthreshold-swing saturation at a band-tail floor (Teff saturates),
+//   * order-of-magnitude I_OFF collapse,
+//   * mild I_ON change (phonon mobility gain capped by surface-roughness
+//     scattering, higher VTH eating most of the gain),
+//   * temperature-dependent velocity saturation.
+#pragma once
+
+#include <memory>
+
+#include "device/modelcard.hpp"
+
+namespace cryo::device {
+
+class IdsCache;
+
+// Small-signal conductances at a bias point.
+struct Conductances {
+  double ids = 0.0;  // drain current [A], positive into the drain for NMOS
+  double gm = 0.0;   // dIds/dVgs [S]
+  double gds = 0.0;  // dIds/dVds [S]
+};
+
+// Quasi-static terminal capacitances used by the transient companion model.
+struct Capacitances {
+  double cgs = 0.0;  // gate-source [F]
+  double cgd = 0.0;  // gate-drain [F]
+  double cdb = 0.0;  // drain-bulk/junction [F]
+  double csb = 0.0;  // source-bulk/junction [F]
+};
+
+class FinFet {
+ public:
+  FinFet(ModelCard card, double temperature_kelvin);
+
+  // Signed drain current for actual terminal polarities: for a PMOS pass
+  // the (negative) vgs/vds seen at its terminals and a negative current is
+  // returned. Symmetric in drain/source (vds < 0 swaps terminals).
+  double drain_current(double vgs, double vds) const;
+
+  // Current plus numeric small-signal derivatives (central differences).
+  Conductances conductances(double vgs, double vds) const;
+
+  // Bias-independent capacitances (constant quasi-static approximation).
+  Capacitances capacitances() const;
+
+  // ---- Diagnostics used by calibration, tests, and the benches ----------
+  // Effective threshold voltage at this temperature, zero vds [V].
+  double vth() const { return vth_t_; }
+  // Subthreshold swing extracted numerically at |vds| = 50 mV [V/decade].
+  double subthreshold_swing() const;
+  // On-current at |vgs| = |vds| = vdd [A] (positive magnitude).
+  double ion(double vdd) const;
+  // Off-current at vgs = 0, |vds| = vdd [A] (positive magnitude).
+  double ioff(double vdd) const;
+  // Smoothed thermal voltage including band-tail saturation [V].
+  double phit_eff() const { return phit_; }
+
+  const ModelCard& card() const { return card_; }
+  double temperature() const { return temperature_; }
+
+  // Attach a tabulated-current cache (see IdsCache); subsequent
+  // drain_current calls use the table where it covers the bias point. The
+  // cache must have been built from a single-fin device with the same
+  // modelcard and temperature.
+  void set_cache(std::shared_ptr<const IdsCache> cache);
+
+  // Analytic per-fin current of the normalized (NMOS, vds >= 0) problem,
+  // including series resistance; used to build IdsCache tables.
+  double ids_per_fin_raw(double vgs, double vds) const;
+
+ private:
+  // Core normalized-NMOS current for vds >= 0, per all fins.
+  double ids_normalized(double vgs, double vds) const;
+  // Intrinsic current (before series resistance), per fin.
+  double ids_intrinsic(double vgs, double vds) const;
+
+  std::shared_ptr<const IdsCache> cache_;
+  double diff_step_ = 1e-5;  // widened to the table pitch when cached
+
+  ModelCard card_;
+  double temperature_;
+
+  // Cached temperature-dependent quantities.
+  double phit_ = 0.0;    // k*Teff/q [V]
+  double vth_t_ = 0.0;   // VTH(T) incl. work-function shift [V]
+  double u0_t_ = 0.0;    // low-field mobility at T [m^2/Vs]
+  double vsat_t_ = 0.0;  // saturation velocity at T [m/s]
+  double mexp_t_ = 0.0;  // Vdseff smoothing exponent at T
+  double ksativ_t_ = 0.0;
+  double ud_t_ = 0.0;    // Coulomb-scattering coefficient at T
+};
+
+}  // namespace cryo::device

@@ -1,0 +1,148 @@
+#include "device/modelcard.hpp"
+
+#include <cmath>
+
+namespace cryo::device {
+namespace {
+
+// Permittivity of SiO2 [F/m].
+constexpr double kEpsOx = 3.9 * 8.8541878128e-12;
+
+using Member = double ModelCard::*;
+
+const std::map<std::string, Member>& registry() {
+  static const std::map<std::string, Member> kRegistry = {
+      {"LG", &ModelCard::LG},         {"HFIN", &ModelCard::HFIN},
+      {"TFIN", &ModelCard::TFIN},     {"EOT", &ModelCard::EOT},
+      {"VTH0", &ModelCard::VTH0},     {"PHIG", &ModelCard::PHIG},
+      {"PHIG_REF", &ModelCard::PHIG_REF},
+      {"CIT", &ModelCard::CIT},       {"CDSC", &ModelCard::CDSC},
+      {"CDSCD", &ModelCard::CDSCD},   {"ETA0", &ModelCard::ETA0},
+      {"PDIBL2", &ModelCard::PDIBL2}, {"LAMBDA", &ModelCard::LAMBDA},
+      {"U0", &ModelCard::U0},         {"UA", &ModelCard::UA},
+      {"EU", &ModelCard::EU},         {"UD", &ModelCard::UD},
+      {"ETAMOB", &ModelCard::ETAMOB}, {"RSW", &ModelCard::RSW},
+      {"RDW", &ModelCard::RDW},       {"VSAT", &ModelCard::VSAT},
+      {"MEXP", &ModelCard::MEXP},     {"KSATIV", &ModelCard::KSATIV},
+      {"IOFF_FLOOR", &ModelCard::IOFF_FLOOR},
+      {"IGATE", &ModelCard::IGATE},   {"TNOM", &ModelCard::TNOM},
+      {"T0", &ModelCard::T0},         {"D0", &ModelCard::D0},
+      {"TVTH", &ModelCard::TVTH},     {"KT11", &ModelCard::KT11},
+      {"KT12", &ModelCard::KT12},     {"UA1", &ModelCard::UA1},
+      {"UD1", &ModelCard::UD1},       {"EU1", &ModelCard::EU1},
+      {"UA2", &ModelCard::UA2},       {"UD2", &ModelCard::UD2},
+      {"AT", &ModelCard::AT},         {"AT1", &ModelCard::AT1},
+      {"KSATIVT", &ModelCard::KSATIVT},
+      {"TMEXP", &ModelCard::TMEXP},   {"KCAP", &ModelCard::KCAP},
+      {"CGSO", &ModelCard::CGSO},     {"CGDO", &ModelCard::CGDO},
+      {"CJS", &ModelCard::CJS},       {"CJD", &ModelCard::CJD},
+  };
+  return kRegistry;
+}
+
+}  // namespace
+
+double ModelCard::cox() const { return kEpsOx / EOT; }
+
+double ModelCard::get(const std::string& name) const {
+  return this->*registry().at(name);
+}
+
+void ModelCard::set(const std::string& name, double value) {
+  this->*registry().at(name) = value;
+}
+
+const std::vector<std::string>& ModelCard::parameter_names() {
+  static const std::vector<std::string> kNames = [] {
+    std::vector<std::string> names;
+    for (const auto& [name, member] : registry()) names.push_back(name);
+    return names;
+  }();
+  return kNames;
+}
+
+ModelCard golden_nmos() {
+  ModelCard m;
+  m.polarity = Polarity::kNmos;
+  m.VTH0 = 0.220;
+  m.CDSC = 2.1e-3;
+  m.CDSCD = 0.9e-3;
+  m.CIT = 0.4e-3;
+  m.ETA0 = 0.058;
+  m.LAMBDA = 0.047;
+  m.U0 = 0.0310;
+  m.UA = 0.58;
+  m.EU = 1.62;
+  m.UD = 0.022;
+  m.RSW = 42.0;
+  m.RDW = 42.0;
+  m.VSAT = 8.8e4;
+  m.MEXP = 2.55;
+  m.IOFF_FLOOR = 2.0e-11;
+  // Cryogenic behaviour: the paper measured a 47 % VTH increase for the
+  // n-FinFET between 300 K and 10 K. u = (300-10)/300 = 0.9667 at 10 K, so
+  // TVTH + KT11*u must deliver ~0.103 V of shift.
+  m.TVTH = 0.086;
+  m.KT11 = 0.022;
+  m.T0 = 27.0;
+  m.UA1 = 0.88;
+  m.UD1 = 4.0;
+  m.AT = 0.27;
+  return m;
+}
+
+ModelCard golden_pmos() {
+  ModelCard m;
+  m.polarity = Polarity::kPmos;
+  m.VTH0 = 0.235;
+  m.CDSC = 2.3e-3;
+  m.CDSCD = 1.1e-3;
+  m.CIT = 0.5e-3;
+  m.ETA0 = 0.064;
+  m.LAMBDA = 0.050;
+  // Hole mobility is lower; FinFET sidewall orientation narrows the gap
+  // versus planar devices but pFETs remain ~25 % weaker per fin.
+  m.U0 = 0.0240;
+  m.UA = 0.62;
+  m.EU = 1.55;
+  m.UD = 0.026;
+  m.RSW = 55.0;
+  m.RDW = 55.0;
+  m.VSAT = 7.6e4;
+  m.MEXP = 2.65;
+  m.IOFF_FLOOR = 1.5e-11;
+  // Paper: 39 % VTH increase for the p-FinFET at 10 K.
+  m.TVTH = 0.074;
+  m.KT11 = 0.018;
+  m.T0 = 29.0;
+  m.UA1 = 0.82;
+  m.UD1 = 3.8;
+  m.AT = 0.25;
+  return m;
+}
+
+ModelCard initial_guess(Polarity polarity) {
+  // A deliberately generic starting point: nominal-process defaults with
+  // no cryogenic awareness, the state of a stock modelcard before
+  // extraction.
+  ModelCard m;
+  m.polarity = polarity;
+  m.VTH0 = polarity == Polarity::kNmos ? 0.25 : 0.27;
+  m.U0 = polarity == Polarity::kNmos ? 0.025 : 0.019;
+  m.VSAT = 8.0e4;
+  m.RSW = 60.0;
+  m.RDW = 60.0;
+  m.ETA0 = 0.04;
+  m.CDSC = 1.5e-3;
+  m.CDSCD = 0.5e-3;
+  m.CIT = 0.0;
+  m.TVTH = 0.0;  // no cryo model yet
+  m.KT11 = 0.0;
+  m.T0 = 1.0;    // effectively no subthreshold-slope saturation
+  m.UA1 = 0.0;
+  m.UD1 = 10.0;
+  m.AT = 0.0;
+  return m;
+}
+
+}  // namespace cryo::device

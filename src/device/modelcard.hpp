@@ -1,0 +1,111 @@
+// Modelcard for the cryo-aware analytic FinFET compact model ("mini-CMG").
+//
+// Parameter names follow BSIM-CMG conventions where a direct analogue
+// exists (PHIG, CIT, CDSC, U0, UA, UD, EU, RSW, VSAT, MEXP, ETA0, ...) and
+// the cryogenic extension of Pahwa et al. (T0, D0, TVTH, KT11, KT12, UA1,
+// UD1, EU1, AT, AT1, KSATIVT, TMEXP). The calibration flow addresses
+// parameters by these names, mirroring how an extraction engineer drives a
+// commercial modelcard.
+#pragma once
+
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace cryo::device {
+
+enum class Polarity { kNmos, kPmos };
+
+struct ModelCard {
+  Polarity polarity = Polarity::kNmos;
+
+  // ---- Geometry (per fin, tri-gate) -----------------------------------
+  double LG = 21e-9;    // gate length [m]
+  double HFIN = 32e-9;  // fin height [m]
+  double TFIN = 6.5e-9; // fin thickness [m]
+  double EOT = 1.0e-9;  // equivalent oxide thickness [m]
+  int NFIN = 1;         // number of fins (current multiplier)
+
+  // ---- Threshold & electrostatics -------------------------------------
+  double VTH0 = 0.22;    // threshold voltage at TNOM [V]
+  double PHIG = 4.30;    // gate work function [eV] (shifts VTH linearly)
+  double PHIG_REF = 4.30;// reference work function for VTH0 [eV]
+  double CIT = 0.0;      // interface-trap capacitance [F/m^2]
+  double CDSC = 2.0e-3;  // drain/source-to-channel coupling [F/m^2]
+  double CDSCD = 1.0e-3; // Vds dependence of CDSC [F/m^2/V]
+  double ETA0 = 0.060;   // DIBL coefficient [V/V]
+  double PDIBL2 = 0.0;   // DIBL Vds^2 correction [V/V^2]
+  double LAMBDA = 0.045; // channel-length modulation [1/V]
+
+  // ---- Mobility (at TNOM) ----------------------------------------------
+  double U0 = 0.030;     // low-field mobility [m^2/Vs]
+  double UA = 0.55;      // phonon/surface-roughness degradation coefficient
+  double EU = 1.6;       // field exponent for UA term
+  double UD = 0.020;     // Coulomb-scattering degradation coefficient
+  double ETAMOB = 0.5;   // effective-field weighting
+
+  // ---- Series resistance ------------------------------------------------
+  double RSW = 45.0;     // source resistance per fin [Ohm]
+  double RDW = 45.0;     // drain resistance per fin [Ohm]
+
+  // ---- Velocity saturation ----------------------------------------------
+  double VSAT = 8.5e4;   // saturation velocity [m/s]
+  double MEXP = 2.6;     // Vdseff smoothing exponent
+  double KSATIV = 1.0;   // saturation-regime current scaling
+
+  // ---- Leakage floors -----------------------------------------------------
+  double IOFF_FLOOR = 3e-13; // junction/GIDL leakage floor per fin [A]
+  double IGATE = 0.0;        // gate leakage per fin at VDD [A]
+
+  // ---- Temperature model (TNOM = 300 K) ---------------------------------
+  double TNOM = 300.0;
+  // Band-tail effective temperature: Teff = sqrt(T^2 + T0^2) saturates the
+  // subthreshold slope at cryogenic temperatures [K].
+  double T0 = 28.0;
+  double D0 = 0.0;       // extra band-broadening linear term [K/K]
+  // Threshold shift: VTH(T) = VTH0 + TVTH*u + KT11*u^2 + KT12*u^3,
+  // u = (TNOM - T)/TNOM.
+  double TVTH = 0.085;
+  double KT11 = 0.020;
+  double KT12 = 0.0;
+  // Mobility: U0(T) = U0 * (TNOM/Teff)^UA1 limited by surface-roughness
+  // floor U0*UD1; EU(T) = EU + EU1*u.
+  double UA1 = 0.85;
+  double UD1 = 2.2;      // cap on the cryo mobility gain factor
+  double EU1 = 0.0;
+  double UA2 = 0.0;      // quadratic mobility temperature coefficient
+  double UD2 = 0.0;      // Coulomb-scattering temperature coefficient
+  // Velocity saturation: VSAT(T) = VSAT * (1 + AT*u + AT1*u^2).
+  double AT = 0.12;
+  double AT1 = 0.0;
+  double KSATIVT = 0.0;  // temperature coefficient of KSATIV
+  double TMEXP = 0.0;    // temperature coefficient of MEXP
+
+  // ---- Capacitances (quasi-static, for transient companion model) -------
+  double KCAP = 1.0;     // intrinsic gate-capacitance multiplier
+  double CGSO = 0.9e-10; // gate-source overlap cap per unit width [F/m]
+  double CGDO = 0.9e-10; // gate-drain overlap cap per unit width [F/m]
+  double CJS = 0.6e-9;   // source junction cap per unit width [F/m]
+  double CJD = 0.6e-9;   // drain junction cap per unit width [F/m]
+
+  // Effective channel width of one fin (tri-gate wrap) [m].
+  double fin_width() const { return 2.0 * HFIN + TFIN; }
+
+  // Oxide capacitance per unit area [F/m^2].
+  double cox() const;
+
+  // --- Named-parameter access used by the calibration optimizer ---------
+  // Throws std::out_of_range for unknown names.
+  double get(const std::string& name) const;
+  void set(const std::string& name, double value);
+  static const std::vector<std::string>& parameter_names();
+};
+
+// Golden modelcards: the hidden "silicon" the measurement oracle uses, and
+// the deliberately detuned starting point handed to the extraction flow.
+ModelCard golden_nmos();
+ModelCard golden_pmos();
+ModelCard initial_guess(Polarity polarity);
+
+}  // namespace cryo::device

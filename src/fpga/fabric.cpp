@@ -1,0 +1,69 @@
+#include "fpga/fabric.hpp"
+
+#include <cmath>
+
+namespace cryo::fpga {
+
+FabricModel::FabricModel(const sram::SramModel& sram_model,
+                         FabricConfig config)
+    : cfg_(config),
+      fo4_(sram_model.reference_gate_delay()),
+      leak_per_bit_(sram_model.leakage_per_bit()),
+      temperature_(sram_model.temperature()) {}
+
+double FabricModel::fabric_clock() const {
+  // One LUT level plus two routing hops per pipeline stage.
+  const double stage_delay =
+      (cfg_.lut_delay_fo4 + 2.0 * cfg_.hop_delay_fo4) * fo4_;
+  return 1.0 / (stage_delay * 1.3);  // 30 % margin for clocking overhead
+}
+
+AcceleratorEstimate FabricModel::finalize(const char* name, int luts,
+                                          int flops, int stages) const {
+  AcceleratorEstimate est;
+  est.name = name;
+  est.luts = luts;
+  est.flops = flops;
+  est.pipeline_stages = stages;
+  est.config_bits =
+      static_cast<std::int64_t>(luts) * cfg_.config_bits_per_lut;
+  est.fabric_clock = fabric_clock();
+  est.latency = stages / est.fabric_clock;
+  est.throughput = est.fabric_clock;  // fully pipelined: 1 per cycle
+  est.config_leakage = static_cast<double>(est.config_bits) * leak_per_bit_;
+  // At full rate roughly a third of the LUTs toggle per cycle.
+  est.dynamic_power_full_rate = 0.33 * static_cast<double>(luts) *
+                                cfg_.energy_per_lut_toggle *
+                                est.fabric_clock;
+  return est;
+}
+
+AcceleratorEstimate FabricModel::hdc_accelerator(int dimension) const {
+  // XOR plane: dimension 2-input XORs -> dimension/2 LUT4s (two XORs per
+  // 4-LUT). Popcount: a compressor tree of full adders, ~dimension FAs
+  // total, 2 LUTs each; log2 levels. Distance compare + class select.
+  const int xor_luts = dimension / 2;
+  const int fa_count = dimension;  // 3:2 compressor tree size ~ n
+  const int popcount_luts = 2 * fa_count;
+  const int compare_luts = 12;
+  const int levels = static_cast<int>(std::ceil(std::log2(dimension))) + 2;
+  const int luts = 2 * (xor_luts + popcount_luts) + compare_luts;
+  const int flops = levels * 24;  // pipeline registers on the reduced width
+  return finalize("HDC (xor + popcount tree)", luts, flops, levels);
+}
+
+AcceleratorEstimate FabricModel::knn_accelerator(int coordinate_bits) const {
+  // Two distance datapaths, each: two subtractors, two squarers
+  // (n x n LUT multiplier ~ n^2 / 2 LUTs), one adder; plus the compare.
+  const int n = coordinate_bits;
+  const int sub_luts = n;            // per subtractor
+  const int square_luts = n * n / 2; // per squarer
+  const int add_luts = 2 * n;
+  const int per_distance = 2 * sub_luts + 2 * square_luts + add_luts;
+  const int luts = 2 * per_distance + 2 * n;
+  const int stages = 6;  // sub, mul x2 stages, add, compare
+  const int flops = stages * 4 * n;
+  return finalize("kNN (fixed-point distance)", luts, flops, stages);
+}
+
+}  // namespace cryo::fpga

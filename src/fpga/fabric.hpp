@@ -1,0 +1,73 @@
+// SRAM-based FPGA fabric model for cryogenic classification accelerators.
+//
+// The paper's closing proposal (Sec. VII): since SRAM barely leaks at
+// 10 K, an on-SoC FPGA fabric becomes attractive — reconfigurable between
+// a high-power/low-latency and a low-power/high-latency classifier
+// without respinning silicon. This module estimates what such a fabric
+// costs and delivers: LUT/FF resources for the kNN and HDC accelerators,
+// configuration-SRAM leakage at both temperatures (from the same
+// calibrated bitcell model), fabric clock from the standard-cell delays,
+// and end-to-end classification latency/throughput for comparison with
+// the software kernels of Table 2.
+#pragma once
+
+#include "sram/sram.hpp"
+
+namespace cryo::fpga {
+
+struct FabricConfig {
+  int lut_inputs = 4;
+  // Delay of one LUT (logic + local routing) in units of the reference
+  // inverter FO4 delay at the operating temperature.
+  double lut_delay_fo4 = 60.0;
+  // Global routing hop, same units.
+  double hop_delay_fo4 = 80.0;
+  // Configuration bits per LUT tile (16 truth-table bits + routing mux
+  // configuration).
+  int config_bits_per_lut = 64;
+  // Dynamic energy per LUT evaluation [J] (logic + routing capacitance).
+  double energy_per_lut_toggle = 8e-15;
+};
+
+// Resource/performance estimate of one accelerator instance.
+struct AcceleratorEstimate {
+  const char* name = "";
+  int luts = 0;
+  int flops = 0;
+  int pipeline_stages = 0;
+  std::int64_t config_bits = 0;
+  double fabric_clock = 0.0;           // [Hz]
+  double latency = 0.0;                // per classification [s]
+  double throughput = 0.0;             // classifications per second
+  double config_leakage = 0.0;         // [W] at the model's temperature
+  double dynamic_power_full_rate = 0.0;  // [W] at full throughput
+};
+
+class FabricModel {
+ public:
+  // `sram_model` supplies both the temperature-dependent reference gate
+  // delay and the per-bit leakage of the configuration SRAM.
+  FabricModel(const sram::SramModel& sram_model, FabricConfig config = {});
+
+  // Fully pipelined HDC similarity unit: 128-bit XOR plane + popcount
+  // adder tree + comparator; one classification per fabric cycle.
+  AcceleratorEstimate hdc_accelerator(int dimension = 128) const;
+
+  // Fixed-point kNN distance unit: two (dx^2 + dy^2) datapaths (16x16
+  // multipliers as LUT arrays) + comparator; pipelined.
+  AcceleratorEstimate knn_accelerator(int coordinate_bits = 16) const;
+
+  double fabric_clock() const;  // [Hz]
+  double temperature() const { return temperature_; }
+
+ private:
+  AcceleratorEstimate finalize(const char* name, int luts, int flops,
+                               int stages) const;
+
+  FabricConfig cfg_;
+  double fo4_ = 0.0;          // reference gate delay at temperature [s]
+  double leak_per_bit_ = 0.0;  // config SRAM leakage [W/bit]
+  double temperature_ = 300.0;
+};
+
+}  // namespace cryo::fpga

@@ -1,0 +1,39 @@
+// Liberty (.lib) writer and reader.
+//
+// Serializes a charlib::Library into the industry-standard Liberty format
+// (the paper's characterization flow emits exactly this) and parses it
+// back, so characterized libraries can be shipped as artifacts and loaded
+// by downstream tools without re-running SPICE.
+//
+// Units written: time ns, capacitance pF, energy pJ (internal_power
+// tables), leakage nW, voltage V. The reader converts back to SI.
+//
+// The subset implemented covers what this stack emits: lu_table_templates,
+// cells with area / cell_leakage_power / leakage_power groups, input pins
+// with capacitance, output pins with timing() groups (cell_rise/cell_fall,
+// rise_transition/fall_transition, internal_power rise_power/fall_power),
+// ff groups with setup/hold, and the catalog metadata this stack needs to
+// reconstruct CellDef (function strings are emitted for documentation; the
+// reader rebuilds cell functions from the catalog by base name).
+#pragma once
+
+#include <string>
+
+#include "charlib/library.hpp"
+
+namespace cryo::liberty {
+
+// Serializes the library to Liberty text.
+std::string write(const charlib::Library& library);
+
+// Writes to a file; throws std::runtime_error on I/O failure.
+void write_file(const charlib::Library& library, const std::string& path);
+
+// Parses Liberty text produced by write(). Throws std::runtime_error with
+// a line number on malformed input.
+charlib::Library parse(const std::string& text);
+
+// Reads and parses a Liberty file.
+charlib::Library read_file(const std::string& path);
+
+}  // namespace cryo::liberty

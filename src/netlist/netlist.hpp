@@ -1,0 +1,100 @@
+// Flat gate-level netlist: the representation shared by synthesis, STA,
+// power analysis, and the gate-level simulator.
+//
+// Nets are integer ids; gates reference library cells by name and connect
+// pins to nets. SRAM arrays appear as macro instances (the ASAP7 flow
+// provides them as IP blocks the same way) with their own timing/power
+// model in cryo::sram.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cryo::netlist {
+
+using NetId = int;
+inline constexpr NetId kNoNet = -1;
+
+struct Gate {
+  std::string name;
+  std::string cell;  // library cell name, e.g. "NAND2_X2"
+  // pin -> net, in cell pin order (inputs, clock, outputs).
+  std::vector<std::pair<std::string, NetId>> conns;
+
+  NetId pin(const std::string& pin_name) const {
+    for (const auto& [p, n] : conns)
+      if (p == pin_name) return n;
+    return kNoNet;
+  }
+};
+
+// An SRAM macro instance; `rows * cols` bits organized as words of
+// `cols` bits. Timing and power come from cryo::sram.
+struct SramMacro {
+  std::string name;
+  int rows = 0;       // number of words
+  int cols = 0;       // word width [bits]
+  NetId clock = kNoNet;
+  // Address/data nets (only the timing-relevant boundary is modeled).
+  std::vector<NetId> address;
+  std::vector<NetId> data_in;
+  std::vector<NetId> data_out;
+  NetId write_enable = kNoNet;
+
+  std::int64_t bits() const {
+    return static_cast<std::int64_t>(rows) * cols;
+  }
+};
+
+class Netlist {
+ public:
+  explicit Netlist(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  NetId add_net(const std::string& net_name);
+  // Creates `width` nets named base[0..width-1].
+  std::vector<NetId> add_bus(const std::string& base, int width);
+  NetId net(const std::string& net_name) const;  // throws if unknown
+  bool has_net(const std::string& net_name) const;
+  const std::string& net_name(NetId id) const;
+  std::size_t net_count() const { return net_names_.size(); }
+
+  void add_input(NetId net) { inputs_.push_back(net); }
+  void add_output(NetId net) { outputs_.push_back(net); }
+  void set_clock(NetId net) { clock_ = net; }
+
+  std::size_t add_gate(const std::string& inst_name, const std::string& cell,
+                       std::vector<std::pair<std::string, NetId>> conns);
+  std::size_t add_sram(SramMacro macro);
+
+  const std::vector<Gate>& gates() const { return gates_; }
+  std::vector<Gate>& gates() { return gates_; }
+  const std::vector<SramMacro>& srams() const { return srams_; }
+  const std::vector<NetId>& inputs() const { return inputs_; }
+  const std::vector<NetId>& outputs() const { return outputs_; }
+  NetId clock() const { return clock_; }
+
+  // Total SRAM bits across macros.
+  std::int64_t sram_bits() const;
+
+ private:
+  std::string name_;
+  std::map<std::string, NetId> net_ids_;
+  std::vector<std::string> net_names_;
+  std::vector<NetId> inputs_;
+  std::vector<NetId> outputs_;
+  NetId clock_ = kNoNet;
+  std::vector<Gate> gates_;
+  std::vector<SramMacro> srams_;
+};
+
+// Structural-Verilog subset writer/reader (module, wire, instances with
+// named port connections). The reader accepts only files produced by the
+// writer; it exists so netlists can be inspected and round-tripped.
+std::string write_verilog(const Netlist& netlist);
+Netlist parse_verilog(const std::string& text);
+
+}  // namespace cryo::netlist

@@ -1,0 +1,51 @@
+// Programmatic gate-level SoC generator: the stand-in for Chipyard RTL
+// elaboration plus logic synthesis of the paper's Rocket SoC.
+//
+// Generates a flat netlist of a five-stage in-order RV64 core: fetch
+// (PC adder, L1I interface), decode (instruction decoder, register file),
+// execute (carry-select ALU, barrel shifter, pipelined multiplier,
+// comparator), memory (L1D interface with tag match and way select), and
+// writeback, plus a unified L2. Caches use SRAM macros like the ASAP7 IP
+// flow; their timing/power comes from cryo::sram. The generated structure
+// reproduces the paper's critical-path shape (cache access -> tag compare
+// -> way mux -> bypass -> pipeline register).
+#pragma once
+
+#include "netlist/netlist.hpp"
+
+namespace cryo::netlist {
+
+struct SocConfig {
+  int xlen = 64;        // datapath width
+  int l1i_kb = 16;      // paper: split 16 KB L1I
+  int l1d_kb = 16;      // paper: 16 KB L1D
+  int l2_kb = 512;      // paper: shared 512 KB L2
+  int cache_ways = 4;
+  int tag_bits = 24;
+  bool include_multiplier = true;
+  // Default drive suffix for datapath cells ("_X1", "_X2", ...). The
+  // sizing pass upsizes critical cells afterwards.
+  int default_drive = 1;
+};
+
+// Component builders (standalone netlists; used by unit tests and the
+// sizing ablation).
+Netlist build_adder(int width, int block = 8);       // carry-select adder
+Netlist build_shifter(int width);                    // logarithmic barrel
+Netlist build_comparator(int width);                 // equality
+Netlist build_multiplier(int width, bool pipelined); // array multiplier
+
+// The full SoC.
+Netlist build_soc(const SocConfig& config = {});
+
+// Gate-count statistics for reporting.
+struct NetlistStats {
+  std::size_t gates = 0;
+  std::size_t flops = 0;
+  std::size_t combinational = 0;
+  std::int64_t sram_bits = 0;
+  std::map<std::string, std::size_t> by_base;
+};
+NetlistStats stats_of(const Netlist& netlist);
+
+}  // namespace cryo::netlist

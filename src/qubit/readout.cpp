@@ -1,0 +1,64 @@
+#include "qubit/readout.hpp"
+
+#include <cmath>
+
+namespace cryo::qubit {
+
+ReadoutModel::ReadoutModel(int n_qubits, std::uint64_t seed,
+                           ReadoutOptions options)
+    : rng_(seed) {
+  calib_.reserve(static_cast<std::size_t>(n_qubits));
+  for (int q = 0; q < n_qubits; ++q) {
+    QubitCalibration c;
+    // |0> blob somewhere in the calibration disk.
+    const double r = options.plane_radius * std::sqrt(rng_.uniform());
+    const double phi = rng_.uniform(0.0, 2.0 * M_PI);
+    c.i0 = r * std::cos(phi);
+    c.q0 = r * std::sin(phi);
+    // |1> blob displaced by the dispersive shift in a random direction.
+    const double sep =
+        options.blob_separation * rng_.uniform(0.85, 1.15);
+    const double dir = rng_.uniform(0.0, 2.0 * M_PI);
+    c.i1 = c.i0 + sep * std::cos(dir);
+    c.q1 = c.q0 + sep * std::sin(dir);
+    c.sigma = rng_.uniform(options.sigma_min, options.sigma_max);
+    calib_.push_back(c);
+  }
+}
+
+Measurement ReadoutModel::sample(int q, int state) {
+  const QubitCalibration& c = calib_.at(static_cast<std::size_t>(q));
+  Measurement m;
+  m.qubit = q;
+  m.true_state = state;
+  const double ci = state ? c.i1 : c.i0;
+  const double cq = state ? c.q1 : c.q0;
+  m.i = rng_.gaussian(ci, c.sigma);
+  m.q = rng_.gaussian(cq, c.sigma);
+  return m;
+}
+
+std::vector<Measurement> ReadoutModel::sample_all(int shots) {
+  std::vector<Measurement> out;
+  out.reserve(static_cast<std::size_t>(shots) * calib_.size());
+  for (int s = 0; s < shots; ++s)
+    for (int q = 0; q < n_qubits(); ++q)
+      out.push_back(sample(q, rng_.bernoulli(0.5) ? 1 : 0));
+  return out;
+}
+
+std::vector<Measurement> ReadoutModel::calibration_shots(int shots) {
+  std::vector<Measurement> out;
+  out.reserve(2 * static_cast<std::size_t>(shots) * calib_.size());
+  for (int q = 0; q < n_qubits(); ++q)
+    for (int state : {0, 1})
+      for (int s = 0; s < shots; ++s) out.push_back(sample(q, state));
+  return out;
+}
+
+double ReadoutModel::fidelity_after(double t_seconds,
+                                    double decoherence_time) {
+  return std::exp(-t_seconds / decoherence_time);
+}
+
+}  // namespace cryo::qubit

@@ -1,0 +1,63 @@
+// Synthetic superconducting-qubit readout model: the stand-in for the
+// paper's IBM Falcon I/Q measurement data obtained through qiskit.
+//
+// Each qubit's dispersive readout produces a complex (I, Q) point; shots
+// for |0> and |1> form two Gaussian blobs whose means are learned during
+// calibration (paper Fig. 2a). State fidelity decays exponentially with
+// the wait time (Fig. 2b, T ~ 110 us for the Falcon).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace cryo::qubit {
+
+// Calibration result for one qubit: blob centers and spread, in arbitrary
+// units matching the paper's plot scale.
+struct QubitCalibration {
+  double i0 = 0.0, q0 = 0.0;  // |0> blob mean
+  double i1 = 0.0, q1 = 0.0;  // |1> blob mean
+  double sigma = 0.25;        // per-axis Gaussian spread
+};
+
+struct Measurement {
+  int qubit = 0;
+  double i = 0.0, q = 0.0;
+  int true_state = 0;
+};
+
+struct ReadoutOptions {
+  double blob_separation = 1.1;  // mean distance between |0> and |1> blobs
+  double sigma_min = 0.18;
+  double sigma_max = 0.32;
+  double plane_radius = 1.5;     // calibration centers live in this disk
+};
+
+class ReadoutModel {
+ public:
+  ReadoutModel(int n_qubits, std::uint64_t seed = 1234,
+               ReadoutOptions options = {});
+
+  int n_qubits() const { return static_cast<int>(calib_.size()); }
+  const std::vector<QubitCalibration>& calibration() const { return calib_; }
+
+  // One shot of qubit `q` prepared in `state`.
+  Measurement sample(int q, int state);
+  // `shots` measurements of every qubit with random prepared states
+  // (round-robin over qubits: the paper classifies all qubits per cycle).
+  std::vector<Measurement> sample_all(int shots);
+  // Calibration dataset: `shots` of |0> then `shots` of |1> per qubit.
+  std::vector<Measurement> calibration_shots(int shots);
+
+  // Quantum state fidelity after waiting `t` seconds (Fig. 2b):
+  // exp(-t / decoherence_time).
+  static double fidelity_after(double t_seconds,
+                               double decoherence_time = 110e-6);
+
+ private:
+  std::vector<QubitCalibration> calib_;
+  Rng rng_;
+};
+
+}  // namespace cryo::qubit

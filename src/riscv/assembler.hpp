@@ -1,0 +1,30 @@
+// Two-pass RV64 assembler for the ISA subset in isa.hpp.
+//
+// Supports labels, the usual operand forms (`ld a0, 8(a1)`), numeric and
+// hex immediates, `.word`/`.dword` data directives, and the pseudo
+// instructions the generated kernels use: li (full 64-bit materialization),
+// la, mv, not, neg, j, jr, ret, call, nop, beqz/bnez, bgt/ble/bgtu/bleu,
+// fmv.d.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cryo::riscv {
+
+struct Program {
+  std::uint64_t base = 0x10000;
+  std::vector<std::uint32_t> words;
+  std::map<std::string, std::uint64_t> symbols;
+
+  std::uint64_t size_bytes() const { return words.size() * 4; }
+  std::uint64_t symbol(const std::string& name) const;
+};
+
+// Assembles `source`; throws std::runtime_error with the offending line on
+// syntax errors, unknown mnemonics, or out-of-range immediates/branches.
+Program assemble(const std::string& source, std::uint64_t base = 0x10000);
+
+}  // namespace cryo::riscv

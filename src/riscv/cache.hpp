@@ -1,0 +1,74 @@
+// Set-associative LRU cache model for the ISS timing (hit/miss only; data
+// always comes from the flat memory).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace cryo::riscv {
+
+struct CacheConfig {
+  int size_bytes = 16 * 1024;
+  int ways = 4;
+  int line_bytes = 64;
+};
+
+class Cache {
+ public:
+  explicit Cache(CacheConfig config) : cfg_(config) {
+    if (cfg_.size_bytes <= 0 || cfg_.ways <= 0 || cfg_.line_bytes <= 0)
+      throw std::invalid_argument("Cache: bad configuration");
+    sets_ = cfg_.size_bytes / (cfg_.ways * cfg_.line_bytes);
+    if (sets_ <= 0) throw std::invalid_argument("Cache: zero sets");
+    tags_.assign(static_cast<std::size_t>(sets_) * cfg_.ways, kInvalid);
+    stamps_.assign(tags_.size(), 0);
+  }
+
+  // Returns true on hit; on miss the line is installed (LRU eviction).
+  bool access(std::uint64_t addr) {
+    const std::uint64_t line = addr / static_cast<std::uint64_t>(cfg_.line_bytes);
+    const auto set =
+        static_cast<std::size_t>(line % static_cast<std::uint64_t>(sets_));
+    const std::uint64_t tag = line / static_cast<std::uint64_t>(sets_);
+    const std::size_t base = set * static_cast<std::size_t>(cfg_.ways);
+    ++clock_;
+    for (int w = 0; w < cfg_.ways; ++w) {
+      if (tags_[base + w] == tag) {
+        stamps_[base + w] = clock_;
+        ++hits_;
+        return true;
+      }
+    }
+    ++misses_;
+    std::size_t victim = base;
+    for (int w = 1; w < cfg_.ways; ++w)
+      if (stamps_[base + w] < stamps_[victim]) victim = base + w;
+    tags_[victim] = tag;
+    stamps_[victim] = clock_;
+    return false;
+  }
+
+  void reset_stats() { hits_ = misses_ = 0; }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  double miss_rate() const {
+    const std::uint64_t total = hits_ + misses_;
+    return total == 0 ? 0.0
+                      : static_cast<double>(misses_) /
+                            static_cast<double>(total);
+  }
+  const CacheConfig& config() const { return cfg_; }
+
+ private:
+  static constexpr std::uint64_t kInvalid = ~0ull;
+  CacheConfig cfg_;
+  int sets_ = 0;
+  std::vector<std::uint64_t> tags_;
+  std::vector<std::uint64_t> stamps_;
+  std::uint64_t clock_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace cryo::riscv

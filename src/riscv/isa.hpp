@@ -1,0 +1,66 @@
+// RV64 ISA subset: RV64I + M (multiply/divide) + D (double-precision
+// loads/stores/arithmetic/compares/conversions) + the Zbb cpop instruction
+// (used by the hardware-popcount ablation, paper Sec. VI-C).
+//
+// Real RISC-V encodings are used throughout so encode/decode can be
+// validated against the specification's reference words.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace cryo::riscv {
+
+enum class Op {
+  kInvalid,
+  // RV64I
+  kLui, kAuipc, kJal, kJalr,
+  kBeq, kBne, kBlt, kBge, kBltu, kBgeu,
+  kLb, kLh, kLw, kLd, kLbu, kLhu, kLwu,
+  kSb, kSh, kSw, kSd,
+  kAddi, kSlti, kSltiu, kXori, kOri, kAndi, kSlli, kSrli, kSrai,
+  kAddiw, kSlliw, kSrliw, kSraiw,
+  kAdd, kSub, kSll, kSlt, kSltu, kXor, kSrl, kSra, kOr, kAnd,
+  kAddw, kSubw, kSllw, kSrlw, kSraw,
+  kEcall, kEbreak,
+  // M extension
+  kMul, kMulh, kMulhu, kDiv, kDivu, kRem, kRemu, kMulw, kDivw, kRemw,
+  // D extension (subset)
+  kFld, kFsd,
+  kFaddD, kFsubD, kFmulD, kFdivD, kFsqrtD,
+  kFeqD, kFltD, kFleD,
+  kFcvtLD,   // fcvt.l.d  (double -> int64, rtz)
+  kFcvtDL,   // fcvt.d.l  (int64 -> double)
+  kFmvXD, kFmvDX, kFsgnjD,
+  // Zbb
+  kCpop,
+};
+
+struct Instruction {
+  Op op = Op::kInvalid;
+  int rd = 0;
+  int rs1 = 0;
+  int rs2 = 0;
+  std::int64_t imm = 0;
+  std::uint32_t raw = 0;
+};
+
+// Encodes to a 32-bit instruction word. Throws std::invalid_argument for
+// out-of-range operands.
+std::uint32_t encode(const Instruction& instr);
+
+// Decodes a word; returns Op::kInvalid in `op` when unrecognized.
+Instruction decode(std::uint32_t word);
+
+// Instruction class used by the timing model and activity extraction.
+enum class OpClass { kAlu, kMul, kDiv, kLoad, kStore, kBranch, kJump, kFpu,
+                     kSystem };
+OpClass class_of(Op op);
+
+// Register name helpers ("x5", ABI names like "a0"/"t1"/"sp", and FP
+// "fa0"/"ft0"/"f12"). Returns nullopt for unknown names.
+std::optional<int> parse_int_register(const std::string& name);
+std::optional<int> parse_fp_register(const std::string& name);
+
+}  // namespace cryo::riscv

@@ -1,0 +1,65 @@
+// Sparse byte-addressable memory for the instruction-set simulator.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+namespace cryo::riscv {
+
+class Memory {
+ public:
+  std::uint8_t read8(std::uint64_t addr) const {
+    const auto it = pages_.find(addr >> kPageShift);
+    if (it == pages_.end()) return 0;
+    return it->second[addr & kPageMask];
+  }
+  void write8(std::uint64_t addr, std::uint8_t value) {
+    page(addr)[addr & kPageMask] = value;
+  }
+
+  std::uint64_t read(std::uint64_t addr, int bytes) const {
+    std::uint64_t out = 0;
+    for (int i = 0; i < bytes; ++i)
+      out |= static_cast<std::uint64_t>(read8(addr + i)) << (8 * i);
+    return out;
+  }
+  void write(std::uint64_t addr, std::uint64_t value, int bytes) {
+    for (int i = 0; i < bytes; ++i)
+      write8(addr + i, static_cast<std::uint8_t>(value >> (8 * i)));
+  }
+
+  std::uint32_t read32(std::uint64_t addr) const {
+    return static_cast<std::uint32_t>(read(addr, 4));
+  }
+  std::uint64_t read64(std::uint64_t addr) const { return read(addr, 8); }
+  void write32(std::uint64_t addr, std::uint32_t v) { write(addr, v, 4); }
+  void write64(std::uint64_t addr, std::uint64_t v) { write(addr, v, 8); }
+
+  double read_double(std::uint64_t addr) const {
+    const std::uint64_t bits = read64(addr);
+    double d;
+    std::memcpy(&d, &bits, sizeof(d));
+    return d;
+  }
+  void write_double(std::uint64_t addr, double d) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &d, sizeof(bits));
+    write64(addr, bits);
+  }
+
+ private:
+  static constexpr int kPageShift = 12;
+  static constexpr std::uint64_t kPageMask = (1ull << kPageShift) - 1;
+
+  std::vector<std::uint8_t>& page(std::uint64_t addr) {
+    auto& p = pages_[addr >> kPageShift];
+    if (p.empty()) p.assign(1ull << kPageShift, 0);
+    return p;
+  }
+
+  std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> pages_;
+};
+
+}  // namespace cryo::riscv

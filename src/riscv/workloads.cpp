@@ -1,0 +1,86 @@
+#include "riscv/workloads.hpp"
+
+#include <string>
+
+namespace cryo::riscv {
+
+Program dhrystone_like(int iterations) {
+  // Working set: two 2 KB record arrays plus a 256-entry index table,
+  // touched with a mix of sequential and data-dependent accesses.
+  const std::string src = R"(
+      li s0, )" + std::to_string(iterations) + R"(
+      li s1, 0x80000      # record array A
+      li s2, 0x81000      # record array B
+      li s3, 0x82000      # index table
+      # initialize the index table with a stride-7 permutation
+      li t0, 0
+      li t1, 256
+    init:
+      li t2, 7
+      mul t3, t0, t2
+      andi t3, t3, 255
+      slli t4, t3, 3
+      add t4, t4, s3
+      slli t5, t0, 3
+      sd t5, 0(t4)
+      addi t0, t0, 1
+      bne t0, t1, init
+    outer:
+      li t0, 0
+      li t1, 64
+    record_copy:            # Proc_1/Proc_2-ish: copy + update records
+      slli t2, t0, 3
+      add t3, t2, s1
+      ld t4, 0(t3)
+      addi t4, t4, 5
+      add t5, t2, s2
+      sd t4, 0(t5)
+      ld t6, 0(t5)
+      xor t6, t6, t4
+      beqz t6, copy_ok      # always taken (they are equal)
+      addi t6, t6, 1
+    copy_ok:
+      addi t0, t0, 1
+      bne t0, t1, record_copy
+      # pointer-chase through the index table (Func_2-ish)
+      li t0, 0
+      li t1, 64
+      mv t2, s3
+    chase:
+      ld t3, 0(t2)
+      andi t3, t3, 2047
+      add t2, t3, s3
+      addi t0, t0, 1
+      bne t0, t1, chase
+      # integer arithmetic block (Proc_8-ish)
+      li t0, 0
+      li t1, 32
+      li a2, 3
+    arith:
+      mul a3, t0, a2
+      add a4, a3, t0
+      slli a5, a4, 2
+      sub a6, a5, a3
+      srai a7, a6, 1
+      add a2, a2, a7
+      andi a2, a2, 1023
+      addi a2, a2, 3
+      addi t0, t0, 1
+      bne t0, t1, arith
+      addi s0, s0, -1
+      bnez s0, outer
+      ebreak
+  )";
+  return assemble(src);
+}
+
+Perf run_dhrystone_like(Cpu& cpu, int iterations) {
+  const Program program = dhrystone_like(iterations);
+  cpu.load_program(program);
+  cpu.run(program.base, 500'000'000ull);  // warm-up
+  cpu.reset_perf();
+  cpu.run(program.base, 500'000'000ull);
+  return cpu.perf();
+}
+
+}  // namespace cryo::riscv

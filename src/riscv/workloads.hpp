@@ -1,0 +1,24 @@
+// Synthetic workload programs for the ISS.
+//
+// dhrystone_like(): a Dhrystone-flavoured integer mix (string-ish copies,
+// pointer chasing, arithmetic, branches) that the paper uses as the
+// "general average" workload for the Fig. 6 power analysis. It is not the
+// literal Dhrystone source (no libc here) but matches its instruction-mix
+// character: ~50 % ALU, ~30 % load/store, ~15 % branches, few multiplies.
+#pragma once
+
+#include "riscv/assembler.hpp"
+#include "riscv/cpu.hpp"
+
+namespace cryo::riscv {
+
+// Program running `iterations` outer loops over a small working set;
+// halts with ebreak. Load with Cpu::load_program and run from
+// program.base.
+Program dhrystone_like(int iterations);
+
+// Convenience: run the workload on `cpu` (twice: warm-up then measured)
+// and return the measured performance counters.
+Perf run_dhrystone_like(Cpu& cpu, int iterations);
+
+}  // namespace cryo::riscv

@@ -1,0 +1,61 @@
+#include "spice/circuit.hpp"
+
+#include <stdexcept>
+
+namespace cryo::spice {
+
+NodeId Circuit::node(const std::string& name) {
+  if (name == "0" || name == "gnd" || name == "GND" || name == "vss" ||
+      name == "VSS")
+    return kGround;
+  const auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;
+  names_.push_back(name);
+  const NodeId id = static_cast<NodeId>(names_.size());
+  ids_.emplace(name, id);
+  return id;
+}
+
+const std::string& Circuit::node_name(NodeId id) const {
+  static const std::string kGroundName = "0";
+  if (id == kGround) return kGroundName;
+  return names_.at(static_cast<std::size_t>(id - 1));
+}
+
+bool Circuit::has_node(const std::string& name) const {
+  return ids_.contains(name);
+}
+
+void Circuit::add_resistor(const std::string& a, const std::string& b,
+                           double ohms) {
+  if (ohms <= 0.0) throw std::invalid_argument("resistor must be positive");
+  resistors_.push_back({node(a), node(b), ohms});
+}
+
+void Circuit::add_capacitor(const std::string& a, const std::string& b,
+                            double farads) {
+  if (farads < 0.0) throw std::invalid_argument("capacitor must be >= 0");
+  capacitors_.push_back({node(a), node(b), farads});
+}
+
+std::size_t Circuit::add_vsource(const std::string& name,
+                                 const std::string& pos,
+                                 const std::string& neg, Waveform wave) {
+  vsources_.push_back({node(pos), node(neg), std::move(wave), name});
+  return vsources_.size() - 1;
+}
+
+void Circuit::add_mosfet(const std::string& name, const std::string& drain,
+                         const std::string& gate, const std::string& source,
+                         const device::FinFet& fet) {
+  const NodeId d = node(drain), g = node(gate), s = node(source);
+  mosfets_.push_back({d, g, s, fet, name});
+  // Quasi-static device capacitances as explicit linear elements.
+  const auto caps = fet.capacitances();
+  capacitors_.push_back({g, s, caps.cgs});
+  capacitors_.push_back({g, d, caps.cgd});
+  capacitors_.push_back({d, kGround, caps.cdb});
+  capacitors_.push_back({s, kGround, caps.csb});
+}
+
+}  // namespace cryo::spice

@@ -1,0 +1,78 @@
+// Circuit description for the MNA engine.
+//
+// Node names map to indices; node 0 is ground ("0" or "gnd"). Elements are
+// stored by value in typed vectors. FinFETs automatically contribute their
+// quasi-static terminal capacitances so every internal node has a path to
+// a reactive element (which also keeps the transient well-conditioned).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "device/finfet.hpp"
+#include "spice/waveform.hpp"
+
+namespace cryo::spice {
+
+using NodeId = int;
+inline constexpr NodeId kGround = 0;
+
+struct Resistor {
+  NodeId a = kGround, b = kGround;
+  double ohms = 0.0;
+};
+
+struct Capacitor {
+  NodeId a = kGround, b = kGround;
+  double farads = 0.0;
+};
+
+struct VoltageSource {
+  NodeId pos = kGround, neg = kGround;
+  Waveform wave = Waveform::dc(0.0);
+  std::string name;
+};
+
+struct Mosfet {
+  NodeId drain = kGround, gate = kGround, source = kGround;
+  device::FinFet fet;
+  std::string name;
+};
+
+class Circuit {
+ public:
+  // Returns the node id for `name`, creating it on first use.
+  NodeId node(const std::string& name);
+  // Number of non-ground nodes.
+  std::size_t node_count() const { return names_.size(); }
+  const std::string& node_name(NodeId id) const;
+  bool has_node(const std::string& name) const;
+
+  void add_resistor(const std::string& a, const std::string& b, double ohms);
+  void add_capacitor(const std::string& a, const std::string& b,
+                     double farads);
+  // Returns the source index (used to read its branch current later).
+  std::size_t add_vsource(const std::string& name, const std::string& pos,
+                          const std::string& neg, Waveform wave);
+  // Adds the transistor plus its quasi-static terminal capacitances.
+  void add_mosfet(const std::string& name, const std::string& drain,
+                  const std::string& gate, const std::string& source,
+                  const device::FinFet& fet);
+
+  const std::vector<Resistor>& resistors() const { return resistors_; }
+  const std::vector<Capacitor>& capacitors() const { return capacitors_; }
+  const std::vector<VoltageSource>& vsources() const { return vsources_; }
+  const std::vector<Mosfet>& mosfets() const { return mosfets_; }
+
+ private:
+  std::map<std::string, NodeId> ids_;
+  std::vector<std::string> names_;  // index 0 <-> NodeId 1
+  std::vector<Resistor> resistors_;
+  std::vector<Capacitor> capacitors_;
+  std::vector<VoltageSource> vsources_;
+  std::vector<Mosfet> mosfets_;
+};
+
+}  // namespace cryo::spice

@@ -1,0 +1,302 @@
+#include "spice/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/math.hpp"
+
+namespace cryo::spice {
+
+bool lu_solve(std::vector<double>& a, std::vector<double>& b,
+              std::size_t n) {
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < n; ++row)
+      if (std::abs(a[row * n + col]) > std::abs(a[pivot * n + col]))
+        pivot = row;
+    if (std::abs(a[pivot * n + col]) < 1e-300) return false;
+    if (pivot != col) {
+      for (std::size_t k = 0; k < n; ++k)
+        std::swap(a[col * n + k], a[pivot * n + k]);
+      std::swap(b[col], b[pivot]);
+    }
+    const double inv = 1.0 / a[col * n + col];
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double f = a[row * n + col] * inv;
+      if (f == 0.0) continue;
+      for (std::size_t k = col + 1; k < n; ++k)
+        a[row * n + k] -= f * a[col * n + k];
+      b[row] -= f * b[col];
+    }
+  }
+  for (std::size_t i = n; i-- > 0;) {
+    double acc = b[i];
+    for (std::size_t k = i + 1; k < n; ++k) acc -= a[i * n + k] * b[k];
+    b[i] = acc / a[i * n + i];
+  }
+  return true;
+}
+
+Trace TranResult::node(const std::string& name) const {
+  for (std::size_t i = 0; i < node_names_.size(); ++i)
+    if (node_names_[i] == name) return Trace{time_, node_values_[i]};
+  if (name == "0" || name == "gnd")
+    return Trace{time_, std::vector<double>(time_.size(), 0.0)};
+  throw std::out_of_range("TranResult: unknown node " + name);
+}
+
+Trace TranResult::source_current(std::size_t index) const {
+  return Trace{time_, source_values_.at(index)};
+}
+
+Trace TranResult::source_current(const std::string& name) const {
+  for (std::size_t i = 0; i < source_names_.size(); ++i)
+    if (source_names_[i] == name) return Trace{time_, source_values_[i]};
+  throw std::out_of_range("TranResult: unknown source " + name);
+}
+
+void TranResult::append(double t, const std::vector<double>& x,
+                        std::size_t n_nodes) {
+  if (node_values_.empty()) {
+    node_values_.resize(node_names_.size());
+    source_values_.resize(source_names_.size());
+  }
+  time_.push_back(t);
+  for (std::size_t i = 0; i < node_names_.size(); ++i)
+    node_values_[i].push_back(x[i]);
+  for (std::size_t i = 0; i < source_names_.size(); ++i)
+    source_values_[i].push_back(x[n_nodes + i]);
+}
+
+Engine::Engine(const Circuit& circuit)
+    : circuit_(circuit),
+      n_nodes_(circuit.node_count()),
+      n_sources_(circuit.vsources().size()),
+      dim_(n_nodes_ + n_sources_) {}
+
+void Engine::build(const std::vector<double>& x_prev, double t,
+                   bool transient, double h,
+                   const std::vector<CapState>& caps, double gmin,
+                   std::vector<double>& a, std::vector<double>& z) const {
+  const std::size_t n = dim_;
+  std::fill(a.begin(), a.end(), 0.0);
+  std::fill(z.begin(), z.end(), 0.0);
+
+  // Node voltage accessor: kGround (id 0) is 0 V; node id k maps to x[k-1].
+  auto v = [&](NodeId id) -> double {
+    return id == kGround ? 0.0 : x_prev[static_cast<std::size_t>(id - 1)];
+  };
+  // Stamp helpers; rows/cols < 0 mean ground and are dropped.
+  auto stamp_a = [&](int row, int col, double val) {
+    if (row >= 0 && col >= 0) a[static_cast<std::size_t>(row) * n +
+                                static_cast<std::size_t>(col)] += val;
+  };
+  auto stamp_z = [&](int row, double val) {
+    if (row >= 0) z[static_cast<std::size_t>(row)] += val;
+  };
+  auto r = [](NodeId id) { return static_cast<int>(id) - 1; };
+
+  for (const Resistor& res : circuit_.resistors()) {
+    const double g = 1.0 / res.ohms;
+    stamp_a(r(res.a), r(res.a), g);
+    stamp_a(r(res.b), r(res.b), g);
+    stamp_a(r(res.a), r(res.b), -g);
+    stamp_a(r(res.b), r(res.a), -g);
+  }
+
+  if (transient) {
+    for (std::size_t i = 0; i < circuit_.capacitors().size(); ++i) {
+      const Capacitor& cap = circuit_.capacitors()[i];
+      if (cap.farads <= 0.0) continue;
+      // Trapezoidal companion: i = geq*(v - v_old) - i_old.
+      const double geq = 2.0 * cap.farads / h;
+      const double ieq = -geq * caps[i].voltage - caps[i].current;
+      stamp_a(r(cap.a), r(cap.a), geq);
+      stamp_a(r(cap.b), r(cap.b), geq);
+      stamp_a(r(cap.a), r(cap.b), -geq);
+      stamp_a(r(cap.b), r(cap.a), -geq);
+      stamp_z(r(cap.a), -ieq);
+      stamp_z(r(cap.b), ieq);
+    }
+  }
+
+  for (const Mosfet& m : circuit_.mosfets()) {
+    const double vgs = v(m.gate) - v(m.source);
+    const double vds = v(m.drain) - v(m.source);
+    const auto c = m.fet.conductances(vgs, vds);
+    // Norton linearization: Id = ids + gm*dvgs + gds*dvds.
+    const double ieq = c.ids - c.gm * vgs - c.gds * vds;
+    stamp_a(r(m.drain), r(m.gate), c.gm);
+    stamp_a(r(m.drain), r(m.drain), c.gds);
+    stamp_a(r(m.drain), r(m.source), -(c.gm + c.gds));
+    stamp_a(r(m.source), r(m.gate), -c.gm);
+    stamp_a(r(m.source), r(m.drain), -c.gds);
+    stamp_a(r(m.source), r(m.source), c.gm + c.gds);
+    stamp_z(r(m.drain), -ieq);
+    stamp_z(r(m.source), ieq);
+  }
+
+  for (std::size_t k = 0; k < circuit_.vsources().size(); ++k) {
+    const VoltageSource& src = circuit_.vsources()[k];
+    const int row = static_cast<int>(n_nodes_ + k);
+    stamp_a(row, r(src.pos), 1.0);
+    stamp_a(row, r(src.neg), -1.0);
+    stamp_z(row, src.wave.value(t));
+    // Branch current column (current flows pos -> through source -> neg).
+    stamp_a(r(src.pos), row, 1.0);
+    stamp_a(r(src.neg), row, -1.0);
+  }
+
+  // gmin from every node to ground stabilizes floating regions.
+  for (std::size_t i = 0; i < n_nodes_; ++i) a[i * n + i] += gmin;
+}
+
+bool Engine::solve_nonlinear(std::vector<double>& x, double t, bool transient,
+                             double h, const std::vector<CapState>& caps,
+                             double gmin, const TranOptions& options) const {
+  const std::size_t n = dim_;
+  std::vector<double> a(n * n), z(n);
+  std::vector<double> prev_dv(n_nodes_, 0.0);
+  for (int iter = 0; iter < options.max_nr_iterations; ++iter) {
+    build(x, t, transient, h, caps, gmin, a, z);
+    std::vector<double> rhs = z;
+    if (!lu_solve(a, rhs, n)) return false;
+    // Voltage limiting: cap per-iteration node-voltage moves to keep the
+    // linearization honest. The cap decays after a grace period and any
+    // node whose update flips sign is damped, which breaks the limit
+    // cycles that a fixed symmetric clamp can sustain.
+    const double limit =
+        iter < 12 ? 0.4 : std::max(0.4 * std::pow(0.7, iter - 12), 1e-4);
+    double max_dv = 0.0, max_di = 0.0;
+    for (std::size_t i = 0; i < n_nodes_; ++i) {
+      double dv = clamp(rhs[i] - x[i], -limit, limit);
+      if (dv * prev_dv[i] < 0.0) dv *= 0.5;
+      prev_dv[i] = dv;
+      max_dv = std::max(max_dv, std::abs(dv));
+      x[i] += dv;
+    }
+    for (std::size_t i = n_nodes_; i < n; ++i) {
+      const double di = rhs[i] - x[i];
+      max_di = std::max(max_di, std::abs(di));
+      x[i] = rhs[i];
+    }
+    if (max_dv < options.v_abstol && max_di < options.i_abstol) return true;
+  }
+  return false;
+}
+
+std::vector<double> Engine::dc_operating_point(double t) {
+  TranOptions options;
+  std::vector<double> x(dim_, 0.0);
+  std::vector<CapState> caps;  // unused in DC
+
+  // Direct attempt with tiny gmin.
+  std::vector<double> x_try = x;
+  if (solve_nonlinear(x_try, t, false, 0.0, caps, 1e-12, options))
+    return x_try;
+
+  // gmin stepping: solve with heavy damping conductance, then relax it.
+  x.assign(dim_, 0.0);
+  for (double gmin = 1e-2; gmin >= 1e-13; gmin *= 0.1) {
+    if (!solve_nonlinear(x, t, false, 0.0, caps, gmin, options) &&
+        gmin < 1e-11)
+      throw std::runtime_error("dc_operating_point: gmin stepping failed");
+  }
+  return x;
+}
+
+TranResult Engine::transient(const TranOptions& options) {
+  std::vector<std::string> node_names(n_nodes_);
+  for (std::size_t i = 0; i < n_nodes_; ++i)
+    node_names[i] = circuit_.node_name(static_cast<NodeId>(i + 1));
+  std::vector<std::string> source_names(n_sources_);
+  for (std::size_t i = 0; i < n_sources_; ++i)
+    source_names[i] = circuit_.vsources()[i].name;
+  TranResult result(std::move(node_names), std::move(source_names));
+
+  std::vector<double> x = dc_operating_point(0.0);
+
+  // Capacitor states at t = 0: steady state, no current.
+  const auto& cap_elems = circuit_.capacitors();
+  std::vector<CapState> caps(cap_elems.size());
+  auto vnode = [&](const std::vector<double>& xs, NodeId id) {
+    return id == kGround ? 0.0 : xs[static_cast<std::size_t>(id - 1)];
+  };
+  for (std::size_t i = 0; i < cap_elems.size(); ++i) {
+    caps[i].voltage = vnode(x, cap_elems[i].a) - vnode(x, cap_elems[i].b);
+    caps[i].current = 0.0;
+  }
+
+  result.append(0.0, x, n_nodes_);
+
+  double t = 0.0;
+  double dt = options.dt_max / 16.0;
+  std::vector<double> x_prev2 = x;  // two steps back, for the predictor
+  double dt_prev = dt;
+  bool have_prev = false;
+
+  while (t < options.t_stop - 1e-18) {
+    // Land exactly on source breakpoints so PWL corners are not smeared.
+    double dt_eff = std::min(dt, options.t_stop - t);
+    for (const VoltageSource& src : circuit_.vsources()) {
+      const double bp = src.wave.next_breakpoint(t);
+      if (bp > t && bp - t < dt_eff) dt_eff = bp - t;
+    }
+
+    // Warm-start Newton from the linear predictor; typically saves one to
+    // two iterations per accepted step.
+    std::vector<double> x_new = x;
+    if (have_prev) {
+      for (std::size_t i = 0; i < dim_; ++i)
+        x_new[i] = x[i] + (x[i] - x_prev2[i]) * (dt_eff / dt_prev);
+    }
+    const bool ok = solve_nonlinear(x_new, t + dt_eff, true, dt_eff, caps,
+                                    1e-12, options);
+    if (!ok) {
+      dt = dt_eff / 4.0;
+      if (dt < options.dt_min)
+        throw std::runtime_error("transient: timestep underflow (NR)");
+      continue;
+    }
+
+    // Local-error estimate: deviation from the linear predictor based on
+    // the last accepted step. Large deviation => halve the step.
+    if (have_prev) {
+      double err = 0.0;
+      for (std::size_t i = 0; i < n_nodes_; ++i) {
+        const double slope = (x[i] - x_prev2[i]) / dt_prev;
+        const double pred = x[i] + slope * dt_eff;
+        err = std::max(err, std::abs(x_new[i] - pred));
+      }
+      if (err > options.lte_tol * 50.0 && dt_eff > options.dt_min * 16.0) {
+        dt = dt_eff / 2.0;
+        continue;
+      }
+      if (err < options.lte_tol * 5.0) {
+        dt = std::min(dt_eff * 1.5, options.dt_max);
+      } else {
+        dt = dt_eff;
+      }
+    }
+
+    // Accept the step: update capacitor companion states.
+    for (std::size_t i = 0; i < cap_elems.size(); ++i) {
+      if (cap_elems[i].farads <= 0.0) continue;
+      const double v_new =
+          vnode(x_new, cap_elems[i].a) - vnode(x_new, cap_elems[i].b);
+      const double geq = 2.0 * cap_elems[i].farads / dt_eff;
+      caps[i].current = geq * (v_new - caps[i].voltage) - caps[i].current;
+      caps[i].voltage = v_new;
+    }
+    x_prev2 = x;
+    dt_prev = dt_eff;
+    have_prev = true;
+    x = x_new;
+    t += dt_eff;
+    result.append(t, x, n_nodes_);
+  }
+  return result;
+}
+
+}  // namespace cryo::spice

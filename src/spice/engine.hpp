@@ -1,0 +1,96 @@
+// Modified-nodal-analysis engine: Newton-Raphson DC operating point with
+// gmin stepping, and adaptive trapezoidal transient analysis.
+//
+// Cells characterized here are small (tens of nodes), so the linear solves
+// use dense LU with partial pivoting; a full SoC is never simulated at the
+// transistor level (that is what the gate-level STA/power tools are for).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "spice/circuit.hpp"
+
+namespace cryo::spice {
+
+struct TranOptions {
+  double t_stop = 1e-9;       // simulation end time [s]
+  double dt_max = 5e-12;      // maximum timestep [s]
+  double dt_min = 1e-18;      // minimum timestep before giving up [s]
+  double v_abstol = 1e-6;     // NR voltage convergence [V]
+  double i_abstol = 1e-9;     // NR current convergence [A]
+  double lte_tol = 1e-4;      // local-error acceptance threshold [V]
+  int max_nr_iterations = 60;
+};
+
+// Result of a transient run: node voltages and source branch currents
+// sampled at every accepted timestep.
+class TranResult {
+ public:
+  TranResult(std::vector<std::string> node_names,
+             std::vector<std::string> source_names)
+      : node_names_(std::move(node_names)),
+        source_names_(std::move(source_names)) {}
+
+  // Trace of a node voltage by name (throws if unknown).
+  Trace node(const std::string& name) const;
+  // Trace of the branch current through voltage source `index` (current
+  // flowing from the positive terminal through the source).
+  Trace source_current(std::size_t index) const;
+  Trace source_current(const std::string& name) const;
+
+  std::size_t sample_count() const { return time_.size(); }
+
+  // Engine-internal appenders.
+  void append(double t, const std::vector<double>& x, std::size_t n_nodes);
+
+ private:
+  std::vector<std::string> node_names_;
+  std::vector<std::string> source_names_;
+  std::vector<double> time_;
+  // Column-major storage: one vector per signal.
+  std::vector<std::vector<double>> node_values_;
+  std::vector<std::vector<double>> source_values_;
+};
+
+class Engine {
+ public:
+  explicit Engine(const Circuit& circuit);
+
+  // Newton-Raphson DC operating point with sources evaluated at time t.
+  // Falls back to gmin stepping on convergence failure; throws
+  // std::runtime_error if even that fails.
+  std::vector<double> dc_operating_point(double t = 0.0);
+
+  // Adaptive-step trapezoidal transient starting from the DC operating
+  // point at t = 0.
+  TranResult transient(const TranOptions& options);
+
+ private:
+  struct CapState {
+    double voltage = 0.0;  // v(a) - v(b) at last accepted step
+    double current = 0.0;  // companion current at last accepted step
+  };
+
+  // Builds the linearized MNA system A x = z around x_prev. In transient
+  // mode capacitors contribute trapezoidal companions with step h.
+  void build(const std::vector<double>& x_prev, double t, bool transient,
+             double h, const std::vector<CapState>& caps, double gmin,
+             std::vector<double>& a, std::vector<double>& z) const;
+
+  // Solves the NR loop at time t; returns true on convergence, x in/out.
+  bool solve_nonlinear(std::vector<double>& x, double t, bool transient,
+                       double h, const std::vector<CapState>& caps,
+                       double gmin, const TranOptions& options) const;
+
+  const Circuit& circuit_;
+  std::size_t n_nodes_;
+  std::size_t n_sources_;
+  std::size_t dim_;
+};
+
+// Dense LU solve with partial pivoting: solves a*x = b, a is n x n
+// row-major (destroyed). Returns false if singular.
+bool lu_solve(std::vector<double>& a, std::vector<double>& b, std::size_t n);
+
+}  // namespace cryo::spice

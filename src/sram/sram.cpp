@@ -1,0 +1,116 @@
+#include "sram/sram.hpp"
+
+#include <cmath>
+
+#include "cells/celldef.hpp"
+#include "device/finfet.hpp"
+#include "spice/engine.hpp"
+
+namespace cryo::sram {
+namespace {
+
+// Leakage of periphery (decoders, sense amps, drivers) relative to the
+// array leakage.
+constexpr double kPeripheryLeakFactor = 0.20;
+// Bitline read swing as a fraction of vdd before the sense amp fires.
+constexpr double kBitlineSwing = 0.12;
+// Wordline wire capacitance per attached cell [F].
+constexpr double kWordlineCapPerCell = 0.12e-15;
+// Bitline wire capacitance per attached cell [F] (on top of junctions).
+constexpr double kBitlineWireCapPerCell = 0.05e-15;
+
+}  // namespace
+
+SramModel::SramModel(const device::ModelCard& nmos,
+                     const device::ModelCard& pmos, double temperature,
+                     double vdd)
+    : temperature_(temperature), vdd_(vdd) {
+  // Bitcell devices: SLVT flavor of the calibrated transistors.
+  device::ModelCard cell_n = nmos;
+  device::ModelCard cell_p = pmos;
+  cell_n.PHIG += cells::kSlvtWorkFunctionDelta;
+  cell_p.PHIG += cells::kSlvtWorkFunctionDelta;
+  const device::FinFet fet_n(cell_n, temperature);
+  const device::FinFet fet_p(cell_p, temperature);
+
+  // 6T cell leakage paths in a stable state: one off pull-down NMOS, one
+  // off pull-up PMOS, and one off access NMOS (wordline low, bitline
+  // precharged).
+  const double i_leak =
+      fet_n.ioff(vdd) + fet_p.ioff(vdd) + fet_n.ioff(vdd);
+  leak_per_bit_ = vdd * i_leak * (1.0 + kPeripheryLeakFactor);
+
+  // Bitline discharge: access transistor in series with the pull-down;
+  // approximate with the access device at half gate overdrive.
+  cell_read_current_ = std::abs(fet_n.drain_current(vdd, 0.5 * vdd)) * 0.22;
+  cell_junction_cap_ = fet_n.capacitances().cdb + kBitlineWireCapPerCell;
+
+  // Reference gate delay: FO4-loaded inverter simulated at temperature.
+  device::ModelCard inv_n = nmos;
+  device::ModelCard inv_p = pmos;
+  inv_n.NFIN = 2;
+  inv_p.NFIN = 3;
+  spice::Circuit c;
+  c.add_vsource("vdd", "vdd", "0", spice::Waveform::dc(vdd));
+  c.add_vsource("vin", "in", "0",
+                spice::Waveform::ramp(0.0, vdd, 20e-12, 8e-12));
+  c.add_mosfet("mp", "out", "in", "vdd", device::FinFet(inv_p, temperature));
+  c.add_mosfet("mn", "out", "in", "0", device::FinFet(inv_n, temperature));
+  // FO4 load: four copies of the inverter input capacitance.
+  const auto caps_n = device::FinFet(inv_n, temperature).capacitances();
+  const auto caps_p = device::FinFet(inv_p, temperature).capacitances();
+  const double cin = caps_n.cgs + caps_n.cgd + caps_p.cgs + caps_p.cgd;
+  c.add_capacitor("out", "0", 4.0 * cin);
+  spice::Engine engine(c);
+  spice::TranOptions tran;
+  tran.t_stop = 120e-12;
+  tran.dt_max = 2e-12;
+  const auto result = engine.transient(tran);
+  const double t_in = result.node("in").cross(0.5 * vdd, true);
+  const double t_out = result.node("out").cross(0.5 * vdd, false, 0.0);
+  inv_delay_ = std::max(t_out - t_in, 0.5e-12);
+}
+
+MacroTiming SramModel::timing(const MacroSpec& spec) const {
+  const double levels = std::ceil(std::log2(std::max(spec.rows, 2)));
+  // Decoder: one gate level per address bit plus predecode fanout stages.
+  const double t_decode = (levels + 2.0) * 1.6 * inv_delay_;
+  // Wordline: RC ramp across the row.
+  const double c_wl = kWordlineCapPerCell * spec.cols;
+  const double t_wordline = c_wl * vdd_ / (6.0 * cell_read_current_) +
+                            2.0 * inv_delay_;
+  // Bitline: discharge `swing` through the cell stack; cap scales with
+  // rows.
+  const double c_bl = cell_junction_cap_ * spec.rows;
+  const double t_bitline =
+      c_bl * kBitlineSwing * vdd_ / cell_read_current_;
+  // Sense amp + column mux + output driver.
+  const double t_sense = 10.0 * inv_delay_;
+  MacroTiming t;
+  t.access_time = t_decode + t_wordline + t_bitline + t_sense;
+  t.setup_time = 3.0 * inv_delay_;
+  t.min_cycle = 1.3 * (t.access_time + t.setup_time);
+  return t;
+}
+
+MacroPower SramModel::power(const MacroSpec& spec) const {
+  MacroPower p;
+  p.leakage = leak_per_bit_ * static_cast<double>(spec.rows) *
+              static_cast<double>(spec.cols);
+  // Read: wordline full swing + all columns' bitlines part swing + sense +
+  // addressing overhead.
+  const double c_wl = kWordlineCapPerCell * spec.cols;
+  const double c_bl = cell_junction_cap_ * spec.rows;
+  const double e_wordline = c_wl * vdd_ * vdd_;
+  const double e_bitlines =
+      static_cast<double>(spec.cols) * c_bl * kBitlineSwing * vdd_ * vdd_;
+  const double e_sense = static_cast<double>(spec.cols) * 2e-15 * vdd_ * vdd_;
+  const double e_decode = 12.0 * 1e-15 * vdd_ * vdd_;
+  p.read_energy = e_wordline + e_bitlines + e_sense + e_decode;
+  // Write: full bitline swings on the written columns.
+  p.write_energy = e_wordline + e_decode +
+                   static_cast<double>(spec.cols) * c_bl * vdd_ * vdd_ * 0.5;
+  return p;
+}
+
+}  // namespace cryo::sram

@@ -1,0 +1,66 @@
+// SRAM macro timing and power model.
+//
+// The ASAP7 flow provides SRAM arrays as IP with physical size and timing
+// but no power data; the paper (Sec. V-A) filled in power from the same
+// calibrated BSIM-CMG transistor model, covering read/write accesses, hold,
+// and leakage. This module does the same against our compact model:
+//
+//   * leakage: per-bit off-current paths of a 6T SLVT cell (two offs in the
+//     cross-coupled pair plus an access device), times a periphery factor,
+//   * access time: decoder depth x reference gate delay + wordline +
+//     bitline discharge (scales with rows) + sense/mux, with the reference
+//     gate delay simulated at the target temperature so SRAM timing shifts
+//     with temperature exactly like logic,
+//   * access energy: wordline + bitline swing + sense + output drivers.
+#pragma once
+
+#include "device/modelcard.hpp"
+
+namespace cryo::sram {
+
+struct MacroSpec {
+  int rows = 512;  // words
+  int cols = 64;   // bits per word
+};
+
+struct MacroTiming {
+  double access_time = 0.0;  // clk -> data-out valid [s]
+  double setup_time = 0.0;   // addr/din before clk [s]
+  double min_cycle = 0.0;    // minimum clock period [s]
+};
+
+struct MacroPower {
+  double leakage = 0.0;       // static power, whole macro [W]
+  double read_energy = 0.0;   // per read access [J]
+  double write_energy = 0.0;  // per write access [J]
+};
+
+class SramModel {
+ public:
+  // Modelcards are the calibrated LVT devices; the bitcell uses their SLVT
+  // flavor (the leaky/fast corner, as the paper's ultra-low-VT cells).
+  SramModel(const device::ModelCard& nmos, const device::ModelCard& pmos,
+            double temperature, double vdd = 0.7);
+
+  MacroTiming timing(const MacroSpec& spec) const;
+  MacroPower power(const MacroSpec& spec) const;
+
+  // Static leakage per bit including the periphery share [W].
+  double leakage_per_bit() const { return leak_per_bit_; }
+  // Reference inverter delay at this temperature [s] (exposed so tests can
+  // check the temperature scaling matches the logic library's).
+  double reference_gate_delay() const { return inv_delay_; }
+
+  double temperature() const { return temperature_; }
+  double vdd() const { return vdd_; }
+
+ private:
+  double temperature_;
+  double vdd_;
+  double inv_delay_ = 0.0;
+  double leak_per_bit_ = 0.0;
+  double cell_junction_cap_ = 0.0;  // bitline cap contribution per cell [F]
+  double cell_read_current_ = 0.0;  // bitline discharge current [A]
+};
+
+}  // namespace cryo::sram

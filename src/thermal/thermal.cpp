@@ -1,0 +1,91 @@
+#include "thermal/thermal.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cryo::thermal {
+
+StageModel::StageModel(StageConfig config) : cfg_(config) {
+  if (cfg_.capacitance <= 0.0 || cfg_.theta_junction_stage <= 0.0)
+    throw std::invalid_argument("StageModel: non-physical configuration");
+}
+
+double StageModel::steady_temperature(double power) const {
+  // Lumped model: the fridge holds the stage at its base temperature as
+  // long as the average load is within capacity; the SoC junction sits
+  // theta * P above the stage.
+  return cfg_.base_temperature + cfg_.theta_junction_stage * power;
+}
+
+double StageModel::time_constant() const {
+  return cfg_.theta_junction_stage * cfg_.capacitance;
+}
+
+double StageModel::max_continuous_power() const {
+  // Continuous operation must satisfy both the cooling capacity and the
+  // junction temperature bound.
+  const double by_temperature =
+      (cfg_.max_temperature - cfg_.base_temperature) /
+      cfg_.theta_junction_stage;
+  return std::min(cfg_.cooling_power, by_temperature);
+}
+
+ThermalTrace StageModel::simulate(const BurstSchedule& schedule,
+                                  int cycles) const {
+  if (schedule.period() <= 0.0)
+    throw std::invalid_argument("simulate: empty schedule");
+  const double tau = time_constant();
+  const double dt = std::min({tau / 50.0, schedule.burst_seconds / 8.0,
+                              schedule.idle_seconds / 8.0});
+  ThermalTrace trace;
+  double temperature = cfg_.base_temperature;
+  double t = 0.0;
+  const double t_end = schedule.period() * cycles;
+  double last_period_min = 1e30, last_period_max = -1e30;
+  while (t < t_end) {
+    const double phase = std::fmod(t, schedule.period());
+    const double power = phase < schedule.burst_seconds
+                             ? schedule.burst_power
+                             : schedule.idle_power;
+    // dT/dt = (T_target(P) - T) / tau, where the target is the
+    // steady-state junction temperature for this dissipation.
+    const double target =
+        cfg_.base_temperature + cfg_.theta_junction_stage * power;
+    temperature += (target - temperature) * dt / tau;
+    t += dt;
+    trace.time.push_back(t);
+    trace.temperature.push_back(temperature);
+    trace.peak = std::max(trace.peak, temperature);
+    if (t > t_end - schedule.period()) {
+      last_period_min = std::min(last_period_min, temperature);
+      last_period_max = std::max(last_period_max, temperature);
+    }
+  }
+  trace.steady_ripple = last_period_max - last_period_min;
+  trace.within_limit = trace.peak <= cfg_.max_temperature &&
+                       schedule.average_power() <= cfg_.cooling_power;
+  return trace;
+}
+
+double StageModel::max_burst_power(double burst_seconds, double idle_seconds,
+                                   double idle_power, int cycles) const {
+  double lo = idle_power;
+  double hi = cfg_.cooling_power * 200.0;
+  // Ensure hi actually violates; if not, it is unbounded by this model.
+  BurstSchedule probe{hi, idle_power, burst_seconds, idle_seconds};
+  if (simulate(probe, cycles).within_limit) return hi;
+  BurstSchedule base{idle_power, idle_power, burst_seconds, idle_seconds};
+  if (!simulate(base, cycles).within_limit) return 0.0;
+  for (int it = 0; it < 40; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    BurstSchedule s{mid, idle_power, burst_seconds, idle_seconds};
+    if (simulate(s, cycles).within_limit)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return lo;
+}
+
+}  // namespace cryo::thermal

@@ -1,0 +1,86 @@
+// Thermal model of the cryostat cold stage and burst-mode power
+// management exploration.
+//
+// The paper's Sec. VII observes that "heat transfer is comparatively
+// slow, creating the potential for short but high-power processing bursts
+// followed by a low-power idle phase without impacting the qubits", and
+// argues a software-controlled SoC is the right vehicle to explore such
+// strategies. This module makes that exploration concrete: a lumped RC
+// thermal model of the 10 K stage (cooling power vs stage temperature,
+// thermal capacitance of the SoC + mount) driven by a duty-cycled power
+// profile, answering how long and how hard the SoC may burst before the
+// stage temperature exceeds a qubit-safe bound.
+#pragma once
+
+#include <vector>
+
+namespace cryo::thermal {
+
+struct StageConfig {
+  double base_temperature = 10.0;   // cold-stage equilibrium, no load [K]
+  double cooling_power = 100e-3;    // extraction capacity at base T [W]
+  // Thermal resistance from SoC junction to the stage [K/W]: sets the
+  // steady-state temperature rise per watt dissipated.
+  double theta_junction_stage = 8.0;
+  // Lumped thermal capacitance of SoC + interposer + mount [J/K]. Heat
+  // capacities collapse at cryogenic temperatures (Debye T^3), which is
+  // exactly why bursts are interesting: tau is short but theta is large.
+  double capacitance = 2.5e-3;
+  // Maximum allowed stage-side temperature before qubit error rates
+  // degrade [K].
+  double max_temperature = 10.3;
+};
+
+struct BurstSchedule {
+  double burst_power = 0.0;   // dissipation while bursting [W]
+  double idle_power = 0.0;    // dissipation while idle [W]
+  double burst_seconds = 0.0;
+  double idle_seconds = 0.0;
+
+  double period() const { return burst_seconds + idle_seconds; }
+  double duty() const {
+    return period() > 0.0 ? burst_seconds / period() : 0.0;
+  }
+  double average_power() const {
+    return period() > 0.0
+               ? (burst_power * burst_seconds + idle_power * idle_seconds) /
+                     period()
+               : 0.0;
+  }
+};
+
+struct ThermalTrace {
+  std::vector<double> time;         // [s]
+  std::vector<double> temperature;  // [K]
+  double peak = 0.0;                // max temperature reached [K]
+  double steady_ripple = 0.0;       // peak-to-valley in the last period [K]
+  bool within_limit = false;
+};
+
+class StageModel {
+ public:
+  explicit StageModel(StageConfig config = {});
+
+  // Steady-state junction temperature for continuous dissipation P.
+  double steady_temperature(double power) const;
+  // Thermal time constant tau = theta * C.
+  double time_constant() const;
+  // Maximum continuous power that keeps the stage within limits.
+  double max_continuous_power() const;
+
+  // Simulates `cycles` periods of the schedule from the base temperature
+  // (explicit integration, adaptive to tau).
+  ThermalTrace simulate(const BurstSchedule& schedule, int cycles) const;
+
+  // Largest burst power sustainable with the given timing (bisection over
+  // the simulated peak); returns 0 if even idle power violates the limit.
+  double max_burst_power(double burst_seconds, double idle_seconds,
+                         double idle_power, int cycles = 50) const;
+
+  const StageConfig& config() const { return cfg_; }
+
+ private:
+  StageConfig cfg_;
+};
+
+}  // namespace cryo::thermal

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "calib/extraction.hpp"
+#include "calib/measurement.hpp"
+#include "calib/optimizer.hpp"
+#include "common/math.hpp"
+#include "device/finfet.hpp"
+
+namespace cryo::calib {
+namespace {
+
+// --- Levenberg-Marquardt ---------------------------------------------------
+
+TEST(LevenbergMarquardt, ExactLinearFit) {
+  std::vector<FitParameter> params = {{"a", 0.0, -10, 10},
+                                      {"b", 0.0, -10, 10}};
+  auto residuals = [](const std::vector<double>& p) {
+    std::vector<double> r;
+    for (double x = 0; x < 5; x += 0.5)
+      r.push_back(p[0] * x + p[1] - (3.0 * x - 2.0));
+    return r;
+  };
+  const auto fit = levenberg_marquardt(params, residuals);
+  EXPECT_NEAR(fit.parameters[0], 3.0, 1e-6);
+  EXPECT_NEAR(fit.parameters[1], -2.0, 1e-6);
+  EXPECT_LT(fit.final_cost, 1e-10);
+}
+
+TEST(LevenbergMarquardt, NonlinearExponentialFit) {
+  // Fit y = exp(-k x) for k = 1.7 from a bad start.
+  std::vector<FitParameter> params = {{"k", 0.2, 0.01, 10.0}};
+  auto residuals = [](const std::vector<double>& p) {
+    std::vector<double> r;
+    for (double x = 0; x < 3; x += 0.25)
+      r.push_back(std::exp(-p[0] * x) - std::exp(-1.7 * x));
+    return r;
+  };
+  const auto fit = levenberg_marquardt(params, residuals);
+  EXPECT_NEAR(fit.parameters[0], 1.7, 1e-4);
+}
+
+TEST(LevenbergMarquardt, RespectsBounds) {
+  // Optimum at a = 5 but the upper bound is 2.
+  std::vector<FitParameter> params = {{"a", 1.0, 0.0, 2.0}};
+  auto residuals = [](const std::vector<double>& p) {
+    return std::vector<double>{p[0] - 5.0};
+  };
+  const auto fit = levenberg_marquardt(params, residuals);
+  EXPECT_LE(fit.parameters[0], 2.0 + 1e-12);
+  EXPECT_NEAR(fit.parameters[0], 2.0, 1e-6);
+}
+
+TEST(LevenbergMarquardt, ZeroInitializedParameterMoves) {
+  // Regression test: zero-initialized parameters must still be optimized
+  // (scale is derived from the bounds, not the initial value).
+  std::vector<FitParameter> params = {{"a", 0.0, 0.0, 1e-2}};
+  auto residuals = [](const std::vector<double>& p) {
+    return std::vector<double>{(p[0] - 4e-3) * 1e3};
+  };
+  const auto fit = levenberg_marquardt(params, residuals);
+  EXPECT_NEAR(fit.parameters[0], 4e-3, 1e-6);
+}
+
+TEST(LevenbergMarquardt, ThrowsOnEmptyParameters) {
+  auto residuals = [](const std::vector<double>&) {
+    return std::vector<double>{0.0};
+  };
+  EXPECT_THROW(levenberg_marquardt({}, residuals), std::invalid_argument);
+}
+
+TEST(GridSearch, FindsBasin) {
+  std::vector<FitParameter> params = {{"a", 0.0, -10.0, 10.0},
+                                      {"b", 0.0, -10.0, 10.0}};
+  auto residuals = [](const std::vector<double>& p) {
+    return std::vector<double>{p[0] - 6.0, p[1] + 4.0};
+  };
+  const auto best = grid_search(params, residuals, 11);
+  EXPECT_NEAR(best[0], 6.0, 1.1);
+  EXPECT_NEAR(best[1], -4.0, 1.1);
+}
+
+// --- Measurement oracle ------------------------------------------------------
+
+TEST(SiliconOracle, DeterministicForSeed) {
+  SiliconOracle a(device::Polarity::kNmos, 9);
+  SiliconOracle b(device::Polarity::kNmos, 9);
+  const auto ga = a.id_vg(300.0, 0.05, {0.0, 0.35, 0.7});
+  const auto gb = b.id_vg(300.0, 0.05, {0.0, 0.35, 0.7});
+  ASSERT_EQ(ga.points.size(), gb.points.size());
+  for (std::size_t i = 0; i < ga.points.size(); ++i)
+    EXPECT_DOUBLE_EQ(ga.points[i].ids, gb.points[i].ids);
+}
+
+TEST(SiliconOracle, NoiseIsBounded) {
+  SiliconOracle oracle(device::Polarity::kNmos, 10);
+  const device::FinFet golden(oracle.golden_for_testing(), 300.0);
+  const auto sweep = oracle.id_vg(300.0, 0.05, linspace(0.3, 0.7, 30));
+  for (const auto& pt : sweep.points) {
+    const double ideal = golden.drain_current(pt.vgs, pt.vds);
+    EXPECT_NEAR(pt.ids / ideal, 1.0, 0.15) << "vgs=" << pt.vgs;
+  }
+}
+
+TEST(Campaign, CoversPaperConditions) {
+  SiliconOracle oracle(device::Polarity::kPmos, 11);
+  const auto c = run_campaign(oracle);
+  EXPECT_FALSE(c.transfer_linear_300k.empty());
+  EXPECT_FALSE(c.transfer_sat_10k.empty());
+  EXPECT_EQ(c.output_300k.size(), 3u);
+  // Linear bias is |vds| = 50 mV with PMOS polarity.
+  EXPECT_NEAR(c.transfer_linear_300k[0].points[0].vds, -0.05, 1e-12);
+  EXPECT_EQ(c.all().size(), c.at_300k().size() + c.at_10k().size());
+}
+
+// --- End-to-end extraction ---------------------------------------------------
+
+class ExtractionFlow
+    : public ::testing::TestWithParam<device::Polarity> {};
+
+TEST_P(ExtractionFlow, ReproducesGoldenDevice) {
+  SiliconOracle oracle(GetParam(), 7);
+  auto campaign = run_campaign(oracle);
+  const auto report = extract(campaign, GetParam());
+
+  // Validation in the paper's terms: simulated curves lie on the
+  // measured ones (Fig. 3). Log-domain RMS within a tenth of a decade at
+  // room temperature, slightly looser at 10 K.
+  EXPECT_LT(report.rms_log_error_300k, 0.08);
+  EXPECT_LT(report.rms_log_error_10k, 0.15);
+
+  const device::FinFet fit300(report.card, 300.0);
+  const device::FinFet fit10(report.card, 10.0);
+  const device::FinFet gold300(oracle.golden_for_testing(), 300.0);
+  const device::FinFet gold10(oracle.golden_for_testing(), 10.0);
+  EXPECT_NEAR(fit300.vth(), gold300.vth(), 0.02);
+  EXPECT_NEAR(fit10.vth(), gold10.vth(), 0.02);
+  EXPECT_NEAR(fit300.ion(0.7) / gold300.ion(0.7), 1.0, 0.05);
+  EXPECT_NEAR(fit10.ion(0.7) / gold10.ion(0.7), 1.0, 0.05);
+}
+
+TEST_P(ExtractionFlow, StagesImproveOrHold) {
+  SiliconOracle oracle(GetParam(), 21);
+  auto campaign = run_campaign(oracle);
+  const auto report = extract(campaign, GetParam());
+  for (const auto& stage : report.stages) {
+    EXPECT_LE(stage.fit.final_cost, stage.fit.initial_cost + 1e-12)
+        << stage.name;
+  }
+  // The cryo stage must have engaged the band-tail model: T0 well above
+  // the detuned initial guess.
+  EXPECT_GT(report.card.T0, 5.0);
+  // KT11 can absorb part of the linear shift; their combined
+  // 10 K threshold contribution is what must be present.
+  EXPECT_GT(report.card.TVTH + report.card.KT11, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothPolarities, ExtractionFlow,
+                         ::testing::Values(device::Polarity::kNmos,
+                                           device::Polarity::kPmos),
+                         [](const auto& info) {
+                           return info.param == device::Polarity::kNmos
+                                      ? "nFinFET"
+                                      : "pFinFET";
+                         });
+
+}  // namespace
+}  // namespace cryo::calib

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "charlib/characterizer.hpp"
+#include "device/modelcard.hpp"
+
+namespace cryo::charlib {
+namespace {
+
+// Shared fast characterization (3x3 grid, a handful of cells) so the suite
+// stays quick while still running the full stimuli/measure pipeline.
+class CharFixture : public ::testing::Test {
+ protected:
+  static CharOptions fast_options(double temperature) {
+    CharOptions opt;
+    opt.temperature = temperature;
+    opt.slews = {2e-12, 8e-12, 32e-12};
+    opt.loads = {0.5e-15, 2e-15, 8e-15};
+    opt.characterize_setup_hold = true;
+    return opt;
+  }
+
+  static const CellChar& inv300() {
+    static const CellChar cc = [] {
+      Characterizer ch(device::golden_nmos(), device::golden_pmos(),
+                       fast_options(300.0));
+      return ch.characterize(cells::make_cell("INV", 1, cells::VtFlavor::kLvt));
+    }();
+    return cc;
+  }
+  static const CellChar& inv10() {
+    static const CellChar cc = [] {
+      Characterizer ch(device::golden_nmos(), device::golden_pmos(),
+                       fast_options(10.0));
+      return ch.characterize(cells::make_cell("INV", 1, cells::VtFlavor::kLvt));
+    }();
+    return cc;
+  }
+  static const CellChar& dff300() {
+    static const CellChar cc = [] {
+      Characterizer ch(device::golden_nmos(), device::golden_pmos(),
+                       fast_options(300.0));
+      return ch.characterize(cells::make_cell("DFF", 1, cells::VtFlavor::kLvt));
+    }();
+    return cc;
+  }
+};
+
+TEST_F(CharFixture, InverterDelayTablesAreSane) {
+  const auto& cc = inv300();
+  ASSERT_EQ(cc.arcs.size(), 2u);
+  for (const auto& arc : cc.arcs) {
+    EXPECT_EQ(arc.input, "A");
+    EXPECT_EQ(arc.output, "Y");
+    // Delay grows monotonically with load at fixed slew.
+    for (std::size_t i = 0; i < arc.delay.rows(); ++i)
+      for (std::size_t j = 1; j < arc.delay.cols(); ++j)
+        EXPECT_GT(arc.delay.at(i, j), arc.delay.at(i, j - 1));
+    // Output slew grows with load too.
+    for (std::size_t i = 0; i < arc.output_slew.rows(); ++i)
+      for (std::size_t j = 1; j < arc.output_slew.cols(); ++j)
+        EXPECT_GT(arc.output_slew.at(i, j), arc.output_slew.at(i, j - 1));
+    EXPECT_GT(arc.delay.min_value(), 0.0);
+    EXPECT_LT(arc.delay.max_value(), 200e-12);
+  }
+}
+
+TEST_F(CharFixture, RisingOutputEnergyCarriesLoadCharge) {
+  const auto& cc = inv300();
+  for (const auto& arc : cc.arcs) {
+    if (!arc.output_rise) continue;
+    // At 8 fF load the supply must deliver at least C*Vdd^2 ~ 3.9 fJ.
+    const double e = arc.energy.at(1, 2);
+    EXPECT_GT(e, 3e-15);
+    EXPECT_LT(e, 30e-15);
+  }
+}
+
+TEST_F(CharFixture, PinCapsPositiveAndOrdered) {
+  const auto& cc = inv300();
+  ASSERT_EQ(cc.pin_caps.size(), 1u);
+  EXPECT_GT(cc.pin_caps[0].second, 1e-17);
+  EXPECT_LT(cc.pin_caps[0].second, 2e-15);
+  EXPECT_THROW(cc.pin_cap("Z"), std::out_of_range);
+}
+
+TEST_F(CharFixture, LeakageStatesCoverAllPatterns) {
+  const auto& cc = inv300();
+  ASSERT_EQ(cc.leakage.size(), 2u);
+  for (const auto& s : cc.leakage) EXPECT_GT(s.watts, 0.0);
+  EXPECT_GT(cc.leakage_avg, 0.0);
+}
+
+TEST_F(CharFixture, CryoKillsLeakageKeepsSpeed) {
+  // The paper's central result at cell level: leakage drops by orders of
+  // magnitude while delay moves only slightly.
+  const auto& hot = inv300();
+  const auto& cold = inv10();
+  EXPECT_GT(hot.leakage_avg / cold.leakage_avg, 30.0);
+  const double d_hot = hot.arcs[0].delay.at(1, 1);
+  const double d_cold = cold.arcs[0].delay.at(1, 1);
+  EXPECT_NEAR(d_cold / d_hot, 1.0, 0.35);
+}
+
+TEST_F(CharFixture, DffClockToQ) {
+  const auto& cc = dff300();
+  ASSERT_EQ(cc.arcs.size(), 2u);
+  for (const auto& arc : cc.arcs) {
+    EXPECT_GT(arc.delay.min_value(), 1e-12);
+    EXPECT_LT(arc.delay.max_value(), 300e-12);
+  }
+  // Setup/hold from bisection: small positive-ish windows.
+  EXPECT_GE(cc.setup_time, 0.0);
+  EXPECT_LT(cc.setup_time, 60e-12);
+  EXPECT_GT(cc.hold_time, -20e-12);
+  EXPECT_LT(cc.hold_time, 60e-12);
+}
+
+TEST_F(CharFixture, WorstDelayHelper) {
+  const auto& cc = inv300();
+  const double w = cc.worst_delay(8e-12, 2e-15);
+  for (const auto& arc : cc.arcs)
+    EXPECT_GE(w, arc.delay.lookup(8e-12, 2e-15));
+}
+
+TEST(Characterizer, RejectsEmptyGrid) {
+  CharOptions opt;
+  opt.slews.clear();
+  EXPECT_THROW(
+      Characterizer(device::golden_nmos(), device::golden_pmos(), opt),
+      std::invalid_argument);
+}
+
+TEST(Characterizer, LibraryMetadata) {
+  CharOptions opt;
+  opt.temperature = 300.0;
+  opt.slews = {2e-12, 8e-12};
+  opt.loads = {1e-15, 4e-15};
+  opt.characterize_setup_hold = false;
+  Characterizer ch(device::golden_nmos(), device::golden_pmos(), opt);
+  cells::CatalogOptions copt;
+  copt.only_bases = {"INV", "NAND2"};
+  copt.drives = {1, 2};
+  copt.extra_drives_common = {};
+  copt.include_slvt = true;
+  const auto defs = cells::standard_cells(copt);
+  const auto lib = ch.characterize_all(defs, "mini");
+  EXPECT_EQ(lib.cells.size(), 8u);
+  EXPECT_EQ(lib.name, "mini");
+  EXPECT_DOUBLE_EQ(lib.temperature, 300.0);
+  EXPECT_NE(lib.find("NAND2_X2_SLVT"), nullptr);
+  EXPECT_EQ(lib.find("NOPE"), nullptr);
+  EXPECT_THROW(lib.at("NOPE"), std::out_of_range);
+  // SLVT leaks more than LVT (lower threshold).
+  EXPECT_GT(lib.at("INV_X1_SLVT").leakage_avg,
+            lib.at("INV_X1").leakage_avg);
+}
+
+}  // namespace
+}  // namespace cryo::charlib

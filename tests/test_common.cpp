@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/histogram.hpp"
+#include "common/math.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "common/text.hpp"
+#include "common/units.hpp"
+
+namespace cryo {
+namespace {
+
+TEST(Units, ThermalVoltage) {
+  EXPECT_NEAR(thermal_voltage(300.0), 0.02585, 1e-4);
+  EXPECT_NEAR(thermal_voltage(10.0), 0.000862, 1e-5);
+}
+
+TEST(Math, SoftplusLimits) {
+  EXPECT_NEAR(softplus(100.0), 100.0, 1e-9);
+  EXPECT_NEAR(softplus(-100.0), std::exp(-100.0), 1e-40);
+  EXPECT_NEAR(softplus(0.0), std::log(2.0), 1e-12);
+}
+
+TEST(Math, SoftplusMonotoneAndSmooth) {
+  double prev = softplus(-50.0);
+  for (double x = -49.9; x < 50.0; x += 0.1) {
+    const double cur = softplus(x);
+    EXPECT_GT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(Math, LogisticIsSoftplusDerivative) {
+  for (double x : {-5.0, -1.0, 0.0, 1.0, 5.0}) {
+    const double h = 1e-6;
+    const double numeric = (softplus(x + h) - softplus(x - h)) / (2 * h);
+    EXPECT_NEAR(numeric, logistic(x), 1e-6);
+  }
+}
+
+TEST(Math, SmoothRelu) {
+  EXPECT_NEAR(smooth_relu(10.0, 0.01), 10.0, 1e-5);
+  EXPECT_NEAR(smooth_relu(-10.0, 0.01), 0.0, 1e-5);
+  EXPECT_GT(smooth_relu(0.0, 0.01), 0.0);
+}
+
+TEST(Math, Linspace) {
+  const auto g = linspace(0.0, 1.0, 5);
+  ASSERT_EQ(g.size(), 5u);
+  EXPECT_DOUBLE_EQ(g.front(), 0.0);
+  EXPECT_DOUBLE_EQ(g.back(), 1.0);
+  EXPECT_DOUBLE_EQ(g[2], 0.5);
+}
+
+TEST(Math, Logspace) {
+  const auto g = logspace(1.0, 100.0, 3);
+  ASSERT_EQ(g.size(), 3u);
+  EXPECT_NEAR(g[1], 10.0, 1e-9);
+  EXPECT_THROW(logspace(0.0, 1.0, 3), std::invalid_argument);
+}
+
+TEST(Math, Interp1) {
+  const std::vector<double> xs = {0.0, 1.0, 2.0};
+  const std::vector<double> ys = {0.0, 10.0, 40.0};
+  EXPECT_DOUBLE_EQ(interp1(xs, ys, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(interp1(xs, ys, 1.5), 25.0);
+  EXPECT_DOUBLE_EQ(interp1(xs, ys, -1.0), 0.0);   // clamped
+  EXPECT_DOUBLE_EQ(interp1(xs, ys, 3.0), 40.0);   // clamped
+}
+
+TEST(Math, Statistics) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_NEAR(stddev(xs), std::sqrt(5.0 / 3.0), 1e-12);
+  EXPECT_NEAR(rms(xs), std::sqrt(30.0 / 4.0), 1e-12);
+}
+
+TEST(Table2D, ExactOnGrid) {
+  Table2D t({1.0, 2.0, 4.0}, {10.0, 20.0});
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 2; ++j) t.at(i, j) = double(i * 10 + j);
+  EXPECT_DOUBLE_EQ(t.lookup(2.0, 20.0), 11.0);
+  EXPECT_DOUBLE_EQ(t.lookup(4.0, 10.0), 20.0);
+}
+
+TEST(Table2D, BilinearMidpoint) {
+  Table2D t({0.0, 1.0}, {0.0, 1.0});
+  t.at(0, 0) = 0.0;
+  t.at(0, 1) = 2.0;
+  t.at(1, 0) = 4.0;
+  t.at(1, 1) = 6.0;
+  EXPECT_DOUBLE_EQ(t.lookup(0.5, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(t.lookup(0.25, 0.0), 1.0);
+}
+
+TEST(Table2D, LinearExtrapolation) {
+  Table2D t({0.0, 1.0}, {0.0, 1.0});
+  t.at(0, 0) = 0.0;
+  t.at(0, 1) = 1.0;
+  t.at(1, 0) = 2.0;
+  t.at(1, 1) = 3.0;
+  EXPECT_DOUBLE_EQ(t.lookup(2.0, 0.0), 4.0);
+  EXPECT_DOUBLE_EQ(t.lookup(0.0, 2.0), 2.0);
+  EXPECT_DOUBLE_EQ(t.lookup(-1.0, 0.0), -2.0);
+}
+
+TEST(Table2D, RejectsBadAxes) {
+  EXPECT_THROW(Table2D({}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(Table2D({1.0, 1.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(Table2D({2.0, 1.0}, {1.0}), std::invalid_argument);
+}
+
+TEST(Table2D, MinMax) {
+  Table2D t({0.0, 1.0}, {0.0, 1.0});
+  t.at(0, 0) = -5.0;
+  t.at(1, 1) = 7.0;
+  EXPECT_DOUBLE_EQ(t.min_value(), -5.0);
+  EXPECT_DOUBLE_EQ(t.max_value(), 7.0);
+}
+
+TEST(Histogram, BinsAndOverflow) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.99);
+  h.add(-1.0);
+  h.add(10.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.total(), 2u);
+  EXPECT_FALSE(h.render().empty());
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 0.25);
+  EXPECT_DOUBLE_EQ(h.bin_hi(1), 0.5);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.word(), b.word());
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(2.0, 3.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(11);
+  std::vector<double> xs(20000);
+  for (auto& x : xs) x = rng.gaussian(1.0, 2.0);
+  EXPECT_NEAR(mean(xs), 1.0, 0.06);
+  EXPECT_NEAR(stddev(xs), 2.0, 0.06);
+}
+
+TEST(Text, TrimSplit) {
+  EXPECT_EQ(trim("  a b  "), "a b");
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  const auto ws = split_ws("  x  y\tz ");
+  ASSERT_EQ(ws.size(), 3u);
+  EXPECT_EQ(ws[1], "y");
+}
+
+TEST(Text, Formatting) {
+  EXPECT_EQ(strprintf("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(lower("AbC"), "abc");
+  EXPECT_TRUE(starts_with("hello", "he"));
+  EXPECT_FALSE(starts_with("hello", "hey"));
+}
+
+}  // namespace
+}  // namespace cryo

@@ -1,0 +1,128 @@
+// End-to-end integration tests of the cryosoc flow. These load the
+// committed Liberty artifacts (lib/cryo5_*.lib); when absent they fall
+// back to characterizing the full catalog, which is slow but correct.
+#include <gtest/gtest.h>
+
+#include "classify/kernels.hpp"
+#include "common/units.hpp"
+#include "core/flow.hpp"
+
+namespace cryo::core {
+namespace {
+
+CryoSocFlow& flow() {
+  static CryoSocFlow f = [] {
+    FlowConfig config;
+    config.calibrate_devices = false;  // golden cards; calibration has its
+                                       // own test suite
+    return CryoSocFlow(config);
+  }();
+  return f;
+}
+
+TEST(Flow, LibrariesLoadWithFullCatalog) {
+  const auto& lib300 = flow().library(300.0);
+  const auto& lib10 = flow().library(10.0);
+  EXPECT_GE(lib300.cells.size(), 180u);
+  EXPECT_EQ(lib300.cells.size(), lib10.cells.size());
+  EXPECT_DOUBLE_EQ(lib300.temperature, 300.0);
+  EXPECT_DOUBLE_EQ(lib10.temperature, 10.0);
+}
+
+TEST(Flow, LibraryWideDelayOverlap) {
+  // Paper Fig. 5: the 300 K and 10 K delay histograms overlap to a large
+  // degree. Compare mean delays across all cells/arcs/conditions.
+  double sum300 = 0.0, sum10 = 0.0;
+  std::size_t n = 0;
+  const auto& lib300 = flow().library(300.0);
+  const auto& lib10 = flow().library(10.0);
+  for (std::size_t c = 0; c < lib300.cells.size(); ++c) {
+    for (std::size_t a = 0; a < lib300.cells[c].arcs.size(); ++a) {
+      const auto& t300 = lib300.cells[c].arcs[a].delay;
+      const auto& t10 = lib10.cells[c].arcs[a].delay;
+      for (std::size_t i = 0; i < t300.rows(); ++i) {
+        for (std::size_t j = 0; j < t300.cols(); ++j) {
+          sum300 += t300.at(i, j);
+          sum10 += t10.at(i, j);
+          ++n;
+        }
+      }
+    }
+  }
+  ASSERT_GT(n, 1000u);
+  const double ratio = sum10 / sum300;
+  EXPECT_GT(ratio, 0.9);
+  EXPECT_LT(ratio, 1.25);
+}
+
+TEST(Flow, LibraryWideLeakageCollapse) {
+  const auto& lib300 = flow().library(300.0);
+  const auto& lib10 = flow().library(10.0);
+  double leak300 = 0.0, leak10 = 0.0;
+  for (std::size_t c = 0; c < lib300.cells.size(); ++c) {
+    leak300 += lib300.cells[c].leakage_avg;
+    leak10 += lib10.cells[c].leakage_avg;
+  }
+  EXPECT_GT(leak300 / leak10, 50.0);
+}
+
+TEST(Flow, SocTimingMatchesTable1Shape) {
+  const auto t300 = flow().timing(300.0);
+  const auto t10 = flow().timing(10.0);
+  // Table 1: a small slowdown (<10 %) at 10 K, same critical structure.
+  EXPECT_GT(t10.critical_delay, t300.critical_delay * 0.98);
+  EXPECT_LT(t10.critical_delay, t300.critical_delay * 1.10);
+  EXPECT_GT(t300.fmax, 300e6);
+  EXPECT_LT(t300.fmax, 6e9);
+  EXPECT_FALSE(t300.critical_path.empty());
+}
+
+TEST(Flow, WorkloadPowerMatchesFig6Shape) {
+  qubit::ReadoutModel model(27, 5);
+  classify::KnnClassifier knn(model.calibration());
+  const auto ms = model.sample_all(50);
+  riscv::Cpu cpu(flow().config().cpu);
+  const auto stats = classify::run_knn_kernel(cpu, knn, ms);
+  ASSERT_TRUE(stats.matches_host);
+
+  const double f = flow().timing(300.0).fmax;
+  const auto profile = flow().activity_from_perf(stats.perf, f);
+  const auto p300 = flow().workload_power(300.0, profile);
+  const auto p10 = flow().workload_power(10.0, profile);
+
+  // Fig. 6 shape: dynamic power similar at both temperatures; leakage
+  // dominated by SRAM at 300 K and nearly gone at 10 K.
+  EXPECT_NEAR(p10.dynamic() / p300.dynamic(), 1.0, 0.25);
+  EXPECT_GT(p300.leakage_sram, 100e-3);
+  EXPECT_LT(p10.leakage(), 5e-3);
+  EXPECT_GT(p300.total(), kCoolingBudget10K);  // infeasible at 300 K
+  EXPECT_LT(p10.total(), kCoolingBudget10K);   // feasible at 10 K
+  // >99 % leakage reduction (paper: 99.76 %).
+  EXPECT_GT(1.0 - p10.leakage() / p300.leakage(), 0.99);
+}
+
+TEST(Flow, ActivityProfileSane) {
+  riscv::Perf perf;
+  perf.cycles = 1000;
+  perf.instructions = 700;
+  perf.alu_ops = 300;
+  perf.loads = 150;
+  perf.stores = 50;
+  perf.l1d_misses = 10;
+  const auto profile = flow().activity_from_perf(perf, 1e9);
+  EXPECT_DOUBLE_EQ(profile.clock_frequency, 1e9);
+  for (const auto& [unit, act] : profile.unit_activity) {
+    EXPECT_GE(act, 0.0) << unit;
+    EXPECT_LE(act, 1.0) << unit;
+  }
+  EXPECT_GT(profile.sram_reads_per_cycle.at("l1i_tags"), 0.0);
+}
+
+TEST(Flow, DefaultLibDirFindsArtifacts) {
+  // In-tree test runs should locate lib/ via the marker file.
+  const std::string dir = default_lib_dir();
+  EXPECT_FALSE(dir.empty());
+}
+
+}  // namespace
+}  // namespace cryo::core

@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "device/modelcard.hpp"
+#include "fpga/fabric.hpp"
+
+namespace cryo::fpga {
+namespace {
+
+sram::SramModel sram_at(double temperature) {
+  return sram::SramModel(device::golden_nmos(), device::golden_pmos(),
+                         temperature);
+}
+
+TEST(Fabric, ClockInFpgaRange) {
+  const auto sm = sram_at(300.0);
+  const FabricModel fabric(sm);
+  EXPECT_GT(fabric.fabric_clock(), 100e6);
+  EXPECT_LT(fabric.fabric_clock(), 3e9);
+}
+
+TEST(Fabric, ClockTracksTemperatureLikeLogic) {
+  const FabricModel hot(sram_at(300.0));
+  const FabricModel cold(sram_at(10.0));
+  const double ratio = cold.fabric_clock() / hot.fabric_clock();
+  EXPECT_GT(ratio, 0.8);
+  EXPECT_LT(ratio, 1.1);  // slightly slower at 10 K, like the cells
+}
+
+TEST(Fabric, ConfigLeakageCollapsesAtCryo) {
+  const FabricModel hot(sram_at(300.0));
+  const FabricModel cold(sram_at(10.0));
+  const auto h = hot.hdc_accelerator();
+  const auto c = cold.hdc_accelerator();
+  EXPECT_EQ(h.config_bits, c.config_bits);  // same bitstream
+  EXPECT_GT(h.config_leakage / c.config_leakage, 100.0);
+}
+
+TEST(Fabric, AcceleratorsFullyPipelined) {
+  const FabricModel fabric(sram_at(10.0));
+  for (const auto& est :
+       {fabric.hdc_accelerator(), fabric.knn_accelerator()}) {
+    EXPECT_GT(est.luts, 100);
+    EXPECT_GT(est.flops, 0);
+    EXPECT_GT(est.pipeline_stages, 1);
+    EXPECT_DOUBLE_EQ(est.throughput, est.fabric_clock);
+    EXPECT_NEAR(est.latency * est.fabric_clock, est.pipeline_stages, 1e-9);
+    EXPECT_GT(est.dynamic_power_full_rate, 0.0);
+  }
+}
+
+TEST(Fabric, HdcResourcesScaleWithDimension) {
+  const FabricModel fabric(sram_at(10.0));
+  const auto d128 = fabric.hdc_accelerator(128);
+  const auto d256 = fabric.hdc_accelerator(256);
+  EXPECT_GT(d256.luts, 1.7 * d128.luts);
+  EXPECT_GT(d256.pipeline_stages, d128.pipeline_stages);
+}
+
+TEST(Fabric, KnnResourcesScaleWithPrecision) {
+  const FabricModel fabric(sram_at(10.0));
+  const auto n16 = fabric.knn_accelerator(16);
+  const auto n24 = fabric.knn_accelerator(24);
+  EXPECT_GT(n24.luts, 1.5 * n16.luts);
+}
+
+}  // namespace
+}  // namespace cryo::fpga

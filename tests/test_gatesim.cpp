@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "gatesim/gatesim.hpp"
+#include "netlist/soc_gen.hpp"
+
+namespace cryo::gatesim {
+namespace {
+
+// The logic simulator only needs cell functions, not timing tables, so a
+// library of bare CellChars is enough (and fast to build).
+charlib::Library function_library() {
+  charlib::Library lib;
+  lib.name = "func_only";
+  for (const auto& def : cells::standard_cells({})) {
+    charlib::CellChar cc;
+    cc.def = def;
+    lib.cells.push_back(std::move(cc));
+  }
+  return lib;
+}
+
+const charlib::Library& lib() {
+  static const charlib::Library l = function_library();
+  return l;
+}
+
+TEST(GateSim, InverterChain) {
+  netlist::Netlist nl("chain");
+  const auto a = nl.add_net("a");
+  nl.add_input(a);
+  netlist::NetId prev = a;
+  for (int i = 0; i < 5; ++i) {
+    const auto next = nl.add_net("n" + std::to_string(i));
+    nl.add_gate("inv" + std::to_string(i), "INV_X1",
+                {{"A", prev}, {"Y", next}});
+    prev = next;
+  }
+  Simulator sim(nl, lib());
+  sim.set(a, true);
+  EXPECT_FALSE(sim.get(prev));  // odd number of inversions
+  sim.set(a, false);
+  EXPECT_TRUE(sim.get(prev));
+  EXPECT_GT(sim.total_toggles(), 5u);
+}
+
+class AdderSim : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AdderSim, MatchesNativeAddition) {
+  static const netlist::Netlist adder = netlist::build_adder(64, 8);
+  Simulator sim(adder, lib());
+  Rng rng(GetParam());
+  const auto a_bus = [&] {
+    std::vector<netlist::NetId> bus;
+    for (int i = 0; i < 64; ++i)
+      bus.push_back(adder.net("a[" + std::to_string(i) + "]"));
+    return bus;
+  }();
+  const auto b_bus = [&] {
+    std::vector<netlist::NetId> bus;
+    for (int i = 0; i < 64; ++i)
+      bus.push_back(adder.net("b[" + std::to_string(i) + "]"));
+    return bus;
+  }();
+  for (int trial = 0; trial < 12; ++trial) {
+    const std::uint64_t a = rng.word();
+    const std::uint64_t b = rng.word();
+    sim.set_bus(a_bus, a);
+    sim.set_bus(b_bus, b);
+    EXPECT_EQ(sim.get_bus(adder.outputs()), a + b)
+        << "a=" << a << " b=" << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AdderSim, ::testing::Values(1, 2, 3));
+
+TEST(GateSim, Comparator) {
+  const auto cmp = netlist::build_comparator(16);
+  Simulator sim(cmp, lib());
+  std::vector<netlist::NetId> a_bus, b_bus;
+  for (int i = 0; i < 16; ++i) {
+    a_bus.push_back(cmp.net("a[" + std::to_string(i) + "]"));
+    b_bus.push_back(cmp.net("b[" + std::to_string(i) + "]"));
+  }
+  sim.set_bus(a_bus, 0xBEEF);
+  sim.set_bus(b_bus, 0xBEEF);
+  EXPECT_TRUE(sim.get(cmp.outputs()[0]));
+  sim.set_bus(b_bus, 0xBEEE);
+  EXPECT_FALSE(sim.get(cmp.outputs()[0]));
+}
+
+TEST(GateSim, BarrelShifter) {
+  const auto sh = netlist::build_shifter(32);
+  Simulator sim(sh, lib());
+  std::vector<netlist::NetId> d_bus, s_bus;
+  for (int i = 0; i < 32; ++i)
+    d_bus.push_back(sh.net("d[" + std::to_string(i) + "]"));
+  for (int i = 0; i < 5; ++i)
+    s_bus.push_back(sh.net("sh[" + std::to_string(i) + "]"));
+  sim.set_bus(d_bus, 0x1234'5678ull);
+  for (std::uint64_t amount : {0ull, 1ull, 7ull, 31ull}) {
+    sim.set_bus(s_bus, amount);
+    const std::uint64_t expected = (0x12345678ull << amount) & 0xFFFFFFFFull;
+    EXPECT_EQ(sim.get_bus(sh.outputs()), expected) << "shift " << amount;
+  }
+}
+
+TEST(GateSim, PipelinedMultiplier) {
+  const auto mul = netlist::build_multiplier(16, true);
+  Simulator sim(mul, lib());
+  std::vector<netlist::NetId> a_bus, b_bus;
+  for (int i = 0; i < 16; ++i) {
+    a_bus.push_back(mul.net("a[" + std::to_string(i) + "]"));
+    b_bus.push_back(mul.net("b[" + std::to_string(i) + "]"));
+  }
+  sim.set_bus(a_bus, 1234);
+  sim.set_bus(b_bus, 567);
+  // Two-stage pipeline: result valid after the register rank captures.
+  sim.clock_edge();
+  sim.clock_edge();
+  EXPECT_EQ(sim.get_bus(mul.outputs()) & 0xFFFF,
+            (1234ull * 567ull) & 0xFFFF);
+}
+
+TEST(GateSim, FlopCaptureSemantics) {
+  // Two back-to-back flops must shift, not fall through, on one edge.
+  netlist::Netlist nl("shiftreg");
+  const auto d = nl.add_net("d");
+  const auto clk = nl.add_net("clk");
+  nl.add_input(d);
+  nl.add_input(clk);
+  nl.set_clock(clk);
+  const auto q1 = nl.add_net("q1"), q2 = nl.add_net("q2");
+  nl.add_gate("ff1", "DFF_X1", {{"D", d}, {"CLK", clk}, {"Q", q1}});
+  nl.add_gate("ff2", "DFF_X1", {{"D", q1}, {"CLK", clk}, {"Q", q2}});
+  Simulator sim(nl, lib());
+  sim.set(d, true);
+  sim.clock_edge();
+  EXPECT_TRUE(sim.get(q1));
+  EXPECT_FALSE(sim.get(q2));  // old q1 (0) captured, not the new value
+  sim.clock_edge();
+  EXPECT_TRUE(sim.get(q2));
+}
+
+TEST(GateSim, LatchTransparency) {
+  netlist::Netlist nl("latch");
+  const auto d = nl.add_net("d"), en = nl.add_net("en");
+  const auto q = nl.add_net("q");
+  nl.add_input(d);
+  nl.add_input(en);
+  nl.add_gate("l1", "LATCH_X1", {{"D", d}, {"EN", en}, {"Q", q}});
+  Simulator sim(nl, lib());
+  sim.set(en, true);
+  sim.set(d, true);
+  EXPECT_TRUE(sim.get(q));  // transparent
+  sim.set(en, false);
+  sim.set(d, false);
+  EXPECT_TRUE(sim.get(q));  // held
+}
+
+TEST(GateSim, SramReadWrite) {
+  netlist::Netlist nl("mem");
+  const auto clk = nl.add_net("clk");
+  nl.add_input(clk);
+  nl.set_clock(clk);
+  netlist::SramMacro m;
+  m.name = "m0";
+  m.rows = 64;
+  m.cols = 16;
+  m.clock = clk;
+  m.address = nl.add_bus("addr", 6);
+  m.data_in = nl.add_bus("din", 16);
+  m.data_out = nl.add_bus("dout", 16);
+  m.write_enable = nl.add_net("we");
+  nl.add_sram(m);
+  Simulator sim(nl, lib());
+  sim.set_bus(nl.srams()[0].address, 5);
+  sim.set_bus(nl.srams()[0].data_in, 0xABCD);
+  sim.set(nl.srams()[0].write_enable, true);
+  sim.clock_edge();  // write + readout
+  EXPECT_EQ(sim.get_bus(nl.srams()[0].data_out), 0xABCDu);
+  sim.set(nl.srams()[0].write_enable, false);
+  sim.set_bus(nl.srams()[0].address, 6);
+  sim.clock_edge();
+  EXPECT_EQ(sim.get_bus(nl.srams()[0].data_out), 0u);
+  EXPECT_EQ(sim.sram_read("m0", 5), 0xABCDu);
+}
+
+TEST(GateSim, ActivityCounters) {
+  netlist::Netlist nl("tgl");
+  const auto d = nl.add_net("d"), clk = nl.add_net("clk");
+  nl.set_clock(clk);
+  const auto q = nl.add_net("q"), qn = nl.add_net("qn");
+  nl.add_gate("ff", "DFF_X1", {{"D", qn}, {"CLK", clk}, {"Q", q}});
+  nl.add_gate("inv", "INV_X1", {{"A", q}, {"Y", qn}});
+  (void)d;
+  Simulator sim(nl, lib());
+  for (int i = 0; i < 10; ++i) sim.clock_edge();
+  // The toggle flop flips every cycle: activity ~1 toggle per edge.
+  EXPECT_NEAR(sim.activity(q), 1.0, 0.2);
+}
+
+}  // namespace
+}  // namespace cryo::gatesim

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "charlib/characterizer.hpp"
+#include "liberty/liberty.hpp"
+
+namespace cryo::liberty {
+namespace {
+
+// One shared mini-library characterized once for all round-trip tests.
+const charlib::Library& mini_library() {
+  static const charlib::Library lib = [] {
+    charlib::CharOptions opt;
+    opt.temperature = 300.0;
+    opt.slews = {2e-12, 8e-12, 32e-12};
+    opt.loads = {0.5e-15, 2e-15, 8e-15};
+    charlib::Characterizer ch(device::golden_nmos(), device::golden_pmos(),
+                              opt);
+    cells::CatalogOptions copt;
+    copt.only_bases = {"INV", "NAND2", "DFF"};
+    copt.drives = {1, 2};
+    copt.include_slvt = false;
+    return ch.characterize_all(cells::standard_cells(copt), "roundtrip");
+  }();
+  return lib;
+}
+
+TEST(Liberty, WriteProducesWellFormedText) {
+  const std::string text = write(mini_library());
+  EXPECT_NE(text.find("library (roundtrip)"), std::string::npos);
+  EXPECT_NE(text.find("lu_table_template"), std::string::npos);
+  EXPECT_NE(text.find("cell (NAND2_X1)"), std::string::npos);
+  EXPECT_NE(text.find("cell_leakage_power"), std::string::npos);
+  EXPECT_NE(text.find("timing ()"), std::string::npos);
+  EXPECT_NE(text.find("setup_rising"), std::string::npos);
+}
+
+TEST(Liberty, RoundTripPreservesStructure) {
+  const auto& original = mini_library();
+  const auto parsed = parse(write(original));
+  EXPECT_EQ(parsed.name, original.name);
+  EXPECT_DOUBLE_EQ(parsed.temperature, original.temperature);
+  EXPECT_DOUBLE_EQ(parsed.vdd, original.vdd);
+  ASSERT_EQ(parsed.cells.size(), original.cells.size());
+  ASSERT_EQ(parsed.slew_grid.size(), original.slew_grid.size());
+  for (std::size_t i = 0; i < parsed.slew_grid.size(); ++i)
+    EXPECT_NEAR(parsed.slew_grid[i], original.slew_grid[i], 1e-18);
+}
+
+TEST(Liberty, RoundTripPreservesTables) {
+  const auto& original = mini_library();
+  const auto parsed = parse(write(original));
+  for (const auto& cell : original.cells) {
+    const auto* back = parsed.find(cell.def.name);
+    ASSERT_NE(back, nullptr) << cell.def.name;
+    ASSERT_EQ(back->arcs.size(), cell.arcs.size()) << cell.def.name;
+    for (std::size_t a = 0; a < cell.arcs.size(); ++a) {
+      // Arcs may be reordered by pin grouping; find the matching one.
+      const auto& want = cell.arcs[a];
+      const charlib::NldmArc* got = nullptr;
+      for (const auto& cand : back->arcs) {
+        if (cand.input == want.input && cand.output == want.output &&
+            cand.input_rise == want.input_rise &&
+            cand.output_rise == want.output_rise)
+          got = &cand;
+      }
+      ASSERT_NE(got, nullptr)
+          << cell.def.name << " arc " << want.input << "->" << want.output;
+      for (std::size_t i = 0; i < want.delay.rows(); ++i) {
+        for (std::size_t j = 0; j < want.delay.cols(); ++j) {
+          EXPECT_NEAR(got->delay.at(i, j), want.delay.at(i, j),
+                      std::abs(want.delay.at(i, j)) * 1e-4 + 1e-16);
+          EXPECT_NEAR(got->energy.at(i, j), want.energy.at(i, j),
+                      std::abs(want.energy.at(i, j)) * 1e-4 + 1e-18);
+        }
+      }
+    }
+  }
+}
+
+TEST(Liberty, RoundTripPreservesLeakageAndConstraints) {
+  const auto& original = mini_library();
+  const auto parsed = parse(write(original));
+  for (const auto& cell : original.cells) {
+    const auto* back = parsed.find(cell.def.name);
+    ASSERT_NE(back, nullptr);
+    EXPECT_NEAR(back->leakage_avg, cell.leakage_avg,
+                cell.leakage_avg * 1e-4 + 1e-15);
+    ASSERT_EQ(back->leakage.size(), cell.leakage.size());
+    for (std::size_t i = 0; i < cell.leakage.size(); ++i) {
+      EXPECT_EQ(back->leakage[i].pattern, cell.leakage[i].pattern);
+      EXPECT_NEAR(back->leakage[i].watts, cell.leakage[i].watts,
+                  std::abs(cell.leakage[i].watts) * 1e-4 + 1e-15);
+    }
+    if (cell.def.sequential && !cell.def.is_latch) {
+      EXPECT_NEAR(back->setup_time, cell.setup_time, 1e-15);
+      EXPECT_NEAR(back->hold_time, cell.hold_time, 1e-15);
+    }
+    // Pin caps survive.
+    for (const auto& [pin, cap] : cell.pin_caps)
+      EXPECT_NEAR(back->pin_cap(pin), cap, cap * 1e-4 + 1e-20);
+  }
+}
+
+TEST(Liberty, ParseRejectsGarbage) {
+  EXPECT_THROW(parse("not a library"), std::runtime_error);
+  EXPECT_THROW(parse("library (x) { cell (y) {"), std::runtime_error);
+}
+
+TEST(Liberty, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/rt.lib";
+  write_file(mini_library(), path);
+  const auto parsed = read_file(path);
+  EXPECT_EQ(parsed.cells.size(), mini_library().cells.size());
+  EXPECT_THROW(read_file("/nonexistent/x.lib"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cryo::liberty

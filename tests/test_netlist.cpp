@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "cells/celldef.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/soc_gen.hpp"
+
+namespace cryo::netlist {
+namespace {
+
+TEST(Netlist, NetIdsStable) {
+  Netlist nl("t");
+  const NetId a = nl.add_net("a");
+  EXPECT_EQ(nl.add_net("a"), a);
+  EXPECT_NE(nl.add_net("b"), a);
+  EXPECT_EQ(nl.net("a"), a);
+  EXPECT_TRUE(nl.has_net("a"));
+  EXPECT_FALSE(nl.has_net("zz"));
+  EXPECT_THROW(nl.net("zz"), std::out_of_range);
+  EXPECT_EQ(nl.net_name(a), "a");
+}
+
+TEST(Netlist, BusNaming) {
+  Netlist nl("t");
+  const auto bus = nl.add_bus("d", 4);
+  ASSERT_EQ(bus.size(), 4u);
+  EXPECT_EQ(nl.net_name(bus[2]), "d[2]");
+}
+
+TEST(Netlist, GatePinLookup) {
+  Netlist nl("t");
+  const NetId a = nl.add_net("a"), y = nl.add_net("y");
+  nl.add_gate("g0", "INV_X1", {{"A", a}, {"Y", y}});
+  EXPECT_EQ(nl.gates()[0].pin("A"), a);
+  EXPECT_EQ(nl.gates()[0].pin("Q"), kNoNet);
+}
+
+TEST(Verilog, RoundTripAdder) {
+  const auto adder = build_adder(16, 4);
+  const auto text = write_verilog(adder);
+  const auto back = parse_verilog(text);
+  EXPECT_EQ(back.name(), adder.name());
+  EXPECT_EQ(back.gates().size(), adder.gates().size());
+  EXPECT_EQ(back.net_count(), adder.net_count());
+  EXPECT_EQ(back.inputs().size(), adder.inputs().size());
+  // Connection structure preserved for a sample gate.
+  EXPECT_EQ(back.gates()[3].cell, adder.gates()[3].cell);
+  EXPECT_EQ(back.gates()[3].conns.size(), adder.gates()[3].conns.size());
+}
+
+TEST(Verilog, ParserRejectsPositional) {
+  EXPECT_THROW(parse_verilog("module m (); INV_X1 g (a, b); endmodule"),
+               std::runtime_error);
+}
+
+// --- Generated block structure ----------------------------------------------
+
+TEST(Blocks, AdderGateCountScales) {
+  const auto a32 = build_adder(32, 8);
+  const auto a64 = build_adder(64, 8);
+  EXPECT_GT(a64.gates().size(), 1.7 * a32.gates().size());
+}
+
+TEST(Blocks, ShifterUsesMuxes) {
+  const auto sh = build_shifter(64);
+  const auto stats = stats_of(sh);
+  EXPECT_EQ(stats.by_base.at("MUX2"), 64u * 6u);
+}
+
+TEST(Blocks, ComparatorSingleOutput) {
+  const auto cmp = build_comparator(24);
+  EXPECT_EQ(cmp.outputs().size(), 1u);
+  EXPECT_EQ(stats_of(cmp).by_base.at("XNOR2"), 24u);
+}
+
+TEST(Blocks, PipelinedMultiplierHasFlops) {
+  const auto mul = build_multiplier(16, true);
+  EXPECT_GT(stats_of(mul).flops, 16u);
+  const auto comb = build_multiplier(16, false);
+  EXPECT_EQ(stats_of(comb).flops, 0u);
+}
+
+// --- Full SoC ----------------------------------------------------------------
+
+class SocFixture : public ::testing::Test {
+ protected:
+  static const Netlist& soc() {
+    static const Netlist nl = build_soc({});
+    return nl;
+  }
+};
+
+TEST_F(SocFixture, ScaleMatchesRocketClass) {
+  const auto stats = stats_of(soc());
+  EXPECT_GT(stats.gates, 10000u);
+  EXPECT_GT(stats.flops, 2000u);   // regfile + pipeline registers
+  EXPECT_GT(stats.by_base.at("FA"), 500u);
+  EXPECT_GT(stats.by_base.at("MUX2"), 3000u);
+}
+
+TEST_F(SocFixture, SramBudgetMatchesPaper) {
+  // Paper: 581 KB total on-chip SRAM (16 + 16 + 512 + tags/state).
+  const double kb = static_cast<double>(soc().sram_bits()) / 8192.0;
+  EXPECT_NEAR(kb, 581.0, 15.0);
+}
+
+TEST_F(SocFixture, EveryNetHasAtMostOneDriver) {
+  const auto lib_defs = cells::standard_cells({});
+  std::map<std::string, const cells::CellDef*> defs;
+  for (const auto& d : lib_defs) defs[d.name] = &d;
+  std::map<NetId, int> drivers;
+  for (const auto& gate : soc().gates()) {
+    const auto* def = defs.at(gate.cell);
+    for (const auto& out : def->outputs) {
+      const NetId y = gate.pin(out.name);
+      if (y != kNoNet) ++drivers[y];
+    }
+  }
+  for (const auto& m : soc().srams())
+    for (const NetId n : m.data_out) ++drivers[n];
+  for (const auto& [net, count] : drivers)
+    EXPECT_LE(count, 1) << soc().net_name(net);
+}
+
+TEST_F(SocFixture, AllCellsExistInCatalog) {
+  std::set<std::string> names;
+  for (const auto& d : cells::standard_cells({})) names.insert(d.name);
+  for (const auto& gate : soc().gates())
+    EXPECT_TRUE(names.contains(gate.cell)) << gate.cell;
+}
+
+TEST_F(SocFixture, MacroInputsAreDriven) {
+  // Every SRAM address/din/we net must be driven by a gate output.
+  const auto lib_defs = cells::standard_cells({});
+  std::map<std::string, const cells::CellDef*> defs;
+  for (const auto& d : lib_defs) defs[d.name] = &d;
+  std::set<NetId> driven;
+  for (const auto& gate : soc().gates()) {
+    const auto* def = defs.at(gate.cell);
+    for (const auto& out : def->outputs) {
+      const NetId y = gate.pin(out.name);
+      if (y != kNoNet) driven.insert(y);
+    }
+  }
+  for (const auto& m : soc().srams()) {
+    for (const NetId n : m.address)
+      EXPECT_TRUE(driven.contains(n)) << m.name << " addr";
+    if (m.write_enable != kNoNet) {
+      EXPECT_TRUE(driven.contains(m.write_enable)) << m.name << " we";
+    }
+  }
+}
+
+TEST_F(SocFixture, ConfigurableCaches) {
+  SocConfig small;
+  small.l2_kb = 128;
+  const auto nl = build_soc(small);
+  EXPECT_LT(nl.sram_bits(), soc().sram_bits());
+}
+
+}  // namespace
+}  // namespace cryo::netlist

@@ -1,0 +1,203 @@
+// Cross-module property sweeps: behaviours that must hold over whole
+// parameter ranges rather than at single points.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "charlib/characterizer.hpp"
+#include "classify/classifiers.hpp"
+#include "common/rng.hpp"
+#include "device/finfet.hpp"
+#include "qubit/readout.hpp"
+#include "riscv/cpu.hpp"
+#include "sram/sram.hpp"
+#include "sta/sta.hpp"
+
+namespace cryo {
+namespace {
+
+// --- Device: monotone temperature trends over the full range ---------------
+
+class TemperatureSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(TemperatureSweep, VthDecreasesWithTemperature) {
+  const double t = GetParam();
+  const device::FinFet cold(device::golden_nmos(), t);
+  const device::FinFet warm(device::golden_nmos(), t + 25.0);
+  EXPECT_GT(cold.vth(), warm.vth());
+}
+
+TEST_P(TemperatureSweep, SwingNeverBelowBandTailFloor) {
+  const double t = GetParam();
+  const device::FinFet fet(device::golden_nmos(), t);
+  EXPECT_GT(fet.subthreshold_swing(), 0.003);
+  // ... and never above the thermal limit times a generous ideality.
+  const double teff = std::sqrt(t * t + 27.0 * 27.0);
+  EXPECT_LT(fet.subthreshold_swing(), 2.0 * teff * 0.198e-3 + 0.01);
+}
+
+TEST_P(TemperatureSweep, SramLeakageMonotoneInTemperature) {
+  const double t = GetParam();
+  const sram::SramModel cold(device::golden_nmos(), device::golden_pmos(),
+                             t);
+  const sram::SramModel warm(device::golden_nmos(), device::golden_pmos(),
+                             t + 25.0);
+  EXPECT_LE(cold.leakage_per_bit(), warm.leakage_per_bit() * 1.001);
+}
+
+INSTANTIATE_TEST_SUITE_P(Range, TemperatureSweep,
+                         ::testing::Values(4.0, 10.0, 50.0, 77.0, 150.0,
+                                           250.0),
+                         [](const auto& info) {
+                           return "T" + std::to_string(
+                                            static_cast<int>(info.param));
+                         });
+
+// --- Readout: accuracy degrades smoothly with blob overlap -----------------
+
+TEST(ReadoutProperty, AccuracyMonotoneInSeparation) {
+  double prev = 0.4;
+  for (const double sep : {0.3, 0.6, 1.0, 1.6}) {
+    qubit::ReadoutOptions opt;
+    opt.blob_separation = sep;
+    qubit::ReadoutModel model(16, 77, opt);
+    classify::KnnClassifier knn(model.calibration());
+    const auto ms = model.sample_all(100);
+    const double acc = classify::accuracy(knn, ms);
+    EXPECT_GE(acc, prev - 0.03) << "separation " << sep;
+    prev = acc;
+  }
+  EXPECT_GT(prev, 0.97);  // well-separated blobs classify near-perfectly
+}
+
+// --- ISS: cycle counts are deterministic and additive ----------------------
+
+TEST(IssProperty, DeterministicCycles) {
+  const auto program = riscv::assemble(R"(
+    li t0, 500
+  loop:
+    addi t0, t0, -1
+    bnez t0, loop
+    ebreak
+  )");
+  std::uint64_t first = 0;
+  for (int run = 0; run < 3; ++run) {
+    riscv::Cpu cpu;
+    cpu.load_program(program);
+    const auto r = cpu.run(program.base, 1u << 20);
+    if (run == 0)
+      first = r.cycles;
+    else
+      EXPECT_EQ(r.cycles, first);
+  }
+}
+
+TEST(IssProperty, CyclesScaleWithWork) {
+  auto cycles_for = [](int n) {
+    const auto program = riscv::assemble("li t0, " + std::to_string(n) +
+                                         R"(
+      loop:
+        addi t0, t0, -1
+        bnez t0, loop
+        ebreak
+      )");
+    riscv::Cpu cpu;
+    cpu.load_program(program);
+    cpu.run(program.base, 1u << 22);
+    cpu.reset_perf();
+    cpu.load_program(program);
+    const auto r = cpu.run(program.base, 1u << 22);
+    return static_cast<double>(r.cycles);
+  };
+  const double c1 = cycles_for(1000);
+  const double c4 = cycles_for(4000);
+  EXPECT_NEAR(c4 / c1, 4.0, 0.1);
+}
+
+// --- STA: slew and load sensitivities have the right sign -------------------
+
+class StaSensitivity : public ::testing::Test {
+ protected:
+  static const charlib::Library& lib() {
+    static const charlib::Library l = [] {
+      charlib::CharOptions opt;
+      opt.temperature = 300.0;
+      opt.slews = {2e-12, 8e-12, 32e-12};
+      opt.loads = {0.5e-15, 2e-15, 8e-15};
+      opt.characterize_setup_hold = false;
+      charlib::Characterizer ch(device::golden_nmos(),
+                                device::golden_pmos(), opt);
+      cells::CatalogOptions copt;
+      copt.only_bases = {"INV", "BUF", "NAND2"};
+      copt.drives = {1, 4};
+      copt.extra_drives_common = {};
+      copt.include_slvt = false;
+      return ch.characterize_all(cells::standard_cells(copt), "sens");
+    }();
+    return l;
+  }
+};
+
+TEST_F(StaSensitivity, SlowInputSlewSlowsTheChain) {
+  netlist::Netlist nl("sens");
+  const auto a = nl.add_net("a");
+  nl.add_input(a);
+  netlist::NetId prev = a;
+  for (int i = 0; i < 6; ++i) {
+    const auto y = nl.add_net("y" + std::to_string(i));
+    nl.add_gate("g" + std::to_string(i), "NAND2_X1",
+                {{"A", prev}, {"B", prev}, {"Y", y}});
+    prev = y;
+  }
+  nl.add_output(prev);
+  const sram::SramModel sm(device::golden_nmos(), device::golden_pmos(),
+                           300.0);
+  sta::StaOptions fast;
+  fast.primary_input_slew = 2e-12;
+  sta::StaOptions slow;
+  slow.primary_input_slew = 32e-12;
+  const double d_fast =
+      sta::StaEngine(nl, lib(), sm, fast).run().critical_delay;
+  const double d_slow =
+      sta::StaEngine(nl, lib(), sm, slow).run().critical_delay;
+  EXPECT_GT(d_slow, d_fast);
+}
+
+TEST_F(StaSensitivity, HeavierWireModelSlowsTheChain) {
+  netlist::Netlist nl("wire");
+  const auto a = nl.add_net("a");
+  nl.add_input(a);
+  netlist::NetId prev = a;
+  for (int i = 0; i < 6; ++i) {
+    const auto y = nl.add_net("y" + std::to_string(i));
+    nl.add_gate("g" + std::to_string(i), "INV_X1", {{"A", prev}, {"Y", y}});
+    prev = y;
+  }
+  nl.add_output(prev);
+  const sram::SramModel sm(device::golden_nmos(), device::golden_pmos(),
+                           300.0);
+  sta::StaOptions light;
+  light.wire_cap_per_fanout = 0.2e-15;
+  light.wire_delay_per_fanout = 0.5e-12;
+  sta::StaOptions heavy;
+  heavy.wire_cap_per_fanout = 3e-15;
+  heavy.wire_delay_per_fanout = 6e-12;
+  const double d_light =
+      sta::StaEngine(nl, lib(), sm, light).run().critical_delay;
+  const double d_heavy =
+      sta::StaEngine(nl, lib(), sm, heavy).run().critical_delay;
+  EXPECT_GT(d_heavy, 1.3 * d_light);
+}
+
+TEST_F(StaSensitivity, BiggerDriveFasterUnderLoad) {
+  const auto& l = lib();
+  const auto& x1 = l.at("INV_X1");
+  const auto& x4 = l.at("INV_X4");
+  EXPECT_LT(x4.worst_delay(8e-12, 8e-15), x1.worst_delay(8e-12, 8e-15));
+  // ... at the cost of more input capacitance and leakage.
+  EXPECT_GT(x4.pin_cap("A"), x1.pin_cap("A"));
+  EXPECT_GT(x4.leakage_avg, x1.leakage_avg);
+}
+
+}  // namespace
+}  // namespace cryo

@@ -1,0 +1,418 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "riscv/cpu.hpp"
+
+namespace cryo::riscv {
+namespace {
+
+// --- Encoding ---------------------------------------------------------------
+
+TEST(Encode, GoldenWords) {
+  // Reference encodings from the RISC-V specification.
+  EXPECT_EQ(encode({Op::kAddi, 1, 0, 0, 5}), 0x00500093u);
+  EXPECT_EQ(encode({Op::kAdd, 3, 1, 2, 0}), 0x002081B3u);
+  EXPECT_EQ(encode({Op::kLui, 5, 0, 0, 0x12345000}), 0x123452B7u);
+  EXPECT_EQ(encode({Op::kLd, 10, 11, 0, 16}), 0x0105B503u);
+  EXPECT_EQ(encode({Op::kSd, 0, 2, 8, 24}), 0x00813C23u);
+  EXPECT_EQ(encode({Op::kEbreak, 0, 0, 0, 0}), 0x00100073u);
+  EXPECT_EQ(encode({Op::kEcall, 0, 0, 0, 0}), 0x00000073u);
+  EXPECT_EQ(encode({Op::kMul, 5, 6, 7, 0}), 0x027302B3u);
+}
+
+TEST(Encode, RangeChecks) {
+  EXPECT_THROW(encode({Op::kAddi, 1, 0, 0, 5000}), std::invalid_argument);
+  EXPECT_THROW(encode({Op::kSlli, 1, 1, 0, 70}), std::invalid_argument);
+  EXPECT_THROW(encode({Op::kBeq, 0, 1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Decode, RoundTripAllOps) {
+  Rng rng(17);
+  const Op all_ops[] = {
+      Op::kLui,  Op::kAuipc, Op::kJal,  Op::kJalr, Op::kBeq,  Op::kBne,
+      Op::kBlt,  Op::kBge,   Op::kBltu, Op::kBgeu, Op::kLb,   Op::kLh,
+      Op::kLw,   Op::kLd,    Op::kLbu,  Op::kLhu,  Op::kLwu,  Op::kSb,
+      Op::kSh,   Op::kSw,    Op::kSd,   Op::kAddi, Op::kSlti, Op::kSltiu,
+      Op::kXori, Op::kOri,   Op::kAndi, Op::kSlli, Op::kSrli, Op::kSrai,
+      Op::kAddiw, Op::kSlliw, Op::kSrliw, Op::kSraiw, Op::kAdd, Op::kSub,
+      Op::kSll,  Op::kSlt,   Op::kSltu, Op::kXor,  Op::kSrl,  Op::kSra,
+      Op::kOr,   Op::kAnd,   Op::kAddw, Op::kSubw, Op::kSllw, Op::kSrlw,
+      Op::kSraw, Op::kMul,   Op::kMulh, Op::kMulhu, Op::kDiv, Op::kDivu,
+      Op::kRem,  Op::kRemu,  Op::kMulw, Op::kDivw, Op::kRemw, Op::kFld,
+      Op::kFsd,  Op::kFaddD, Op::kFsubD, Op::kFmulD, Op::kFdivD,
+      Op::kFsqrtD, Op::kFeqD, Op::kFltD, Op::kFleD, Op::kFcvtLD,
+      Op::kFcvtDL, Op::kFmvXD, Op::kFmvDX, Op::kFsgnjD, Op::kCpop};
+  for (const Op op : all_ops) {
+    for (int trial = 0; trial < 8; ++trial) {
+      Instruction in;
+      in.op = op;
+      in.rd = static_cast<int>(rng.uniform_int(0, 31));
+      in.rs1 = static_cast<int>(rng.uniform_int(0, 31));
+      in.rs2 = static_cast<int>(rng.uniform_int(0, 31));
+      switch (op) {
+        case Op::kLui: case Op::kAuipc:
+          in.imm = rng.uniform_int(-512, 511) << 12;
+          break;
+        case Op::kJal:
+          in.imm = rng.uniform_int(-1000, 1000) * 2;
+          break;
+        case Op::kBeq: case Op::kBne: case Op::kBlt: case Op::kBge:
+        case Op::kBltu: case Op::kBgeu:
+          in.imm = rng.uniform_int(-100, 100) * 2;
+          break;
+        case Op::kSlli: case Op::kSrli: case Op::kSrai:
+          in.imm = rng.uniform_int(0, 63);
+          break;
+        case Op::kSlliw: case Op::kSrliw: case Op::kSraiw:
+          in.imm = rng.uniform_int(0, 31);
+          break;
+        default:
+          in.imm = rng.uniform_int(-2048, 2047);
+          break;
+      }
+      const Instruction out = decode(encode(in));
+      ASSERT_EQ(out.op, in.op) << static_cast<int>(op);
+      const OpClass cls = class_of(op);
+      const bool has_rd = cls != OpClass::kBranch && op != Op::kSb &&
+                          op != Op::kSh && op != Op::kSw && op != Op::kSd &&
+                          op != Op::kFsd && op != Op::kEcall &&
+                          op != Op::kEbreak;
+      if (has_rd) {
+        EXPECT_EQ(out.rd, in.rd);
+      }
+      const bool has_imm =
+          cls == OpClass::kBranch || cls == OpClass::kLoad ||
+          cls == OpClass::kStore || op == Op::kAddi || op == Op::kJal ||
+          op == Op::kLui || op == Op::kSlli;
+      if (has_imm) {
+        EXPECT_EQ(out.imm, in.imm) << static_cast<int>(op);
+      }
+    }
+  }
+}
+
+// --- Assembler --------------------------------------------------------------
+
+TEST(Assembler, LabelsForwardAndBackward) {
+  const auto p = assemble(R"(
+    start:
+      addi a0, zero, 1
+      j end
+      addi a0, zero, 2   # skipped
+    end:
+      ebreak
+  )");
+  Cpu cpu;
+  cpu.load_program(p);
+  cpu.run(p.base, 100);
+  EXPECT_EQ(cpu.reg(10), 1u);
+  EXPECT_EQ(p.symbol("start"), p.base);
+  EXPECT_THROW(p.symbol("nope"), std::out_of_range);
+}
+
+class LiMaterialization : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(LiMaterialization, LoadsExactValue) {
+  const auto p = assemble("li a0, " + std::to_string(GetParam()) + "\nebreak");
+  Cpu cpu;
+  cpu.load_program(p);
+  cpu.run(p.base, 100);
+  EXPECT_EQ(static_cast<std::int64_t>(cpu.reg(10)), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, LiMaterialization,
+    ::testing::Values(0, 1, -1, 2047, -2048, 2048, 65536, -65536,
+                      0x7FFFFFFFll, -0x80000000ll, 0x100000000ll,
+                      0x5555555555555555ll, -0x5555555555555555ll,
+                      0x7FFFFFFFFFFFFFFFll, 0x0101010101010101ll));
+
+TEST(Assembler, SyntaxErrors) {
+  EXPECT_THROW(assemble("frobnicate a0, a1"), std::runtime_error);
+  EXPECT_THROW(assemble("addi a0, xx, 1"), std::runtime_error);
+  EXPECT_THROW(assemble("addi a0, a1"), std::runtime_error);
+  EXPECT_THROW(assemble("j nowhere"), std::runtime_error);
+  EXPECT_ANY_THROW(assemble("addi a0, a1, 99999"));
+}
+
+TEST(Assembler, DataDirectives) {
+  const auto p = assemble(R"(
+    j code
+    data:
+      .dword 0x1122334455667788
+    code:
+      la t0, data
+      ld a0, 0(t0)
+      ebreak
+  )");
+  Cpu cpu;
+  cpu.load_program(p);
+  cpu.run(p.base, 100);
+  EXPECT_EQ(cpu.reg(10), 0x1122334455667788ull);
+}
+
+// --- Cache model --------------------------------------------------------------
+
+TEST(Cache, HitAfterMiss) {
+  Cache c({1024, 2, 64});
+  EXPECT_FALSE(c.access(0));
+  EXPECT_TRUE(c.access(0));
+  EXPECT_TRUE(c.access(63));   // same line
+  EXPECT_FALSE(c.access(64));  // next line
+  EXPECT_EQ(c.misses(), 2u);
+  EXPECT_EQ(c.hits(), 2u);
+}
+
+TEST(Cache, LruEviction) {
+  // 2-way, 8 sets of 64 B: addresses 0, 1024, 2048 map to set 0.
+  Cache c({1024, 2, 64});
+  c.access(0);
+  c.access(1024);
+  c.access(0);      // touch 0 so 1024 becomes LRU
+  c.access(2048);   // evicts 1024
+  EXPECT_TRUE(c.access(0));
+  EXPECT_FALSE(c.access(1024));
+}
+
+TEST(Cache, MissRate) {
+  Cache c({1024, 2, 64});
+  for (int i = 0; i < 10; ++i) c.access(static_cast<std::uint64_t>(i) * 64);
+  EXPECT_GT(c.miss_rate(), 0.9);
+  c.reset_stats();
+  EXPECT_EQ(c.hits() + c.misses(), 0u);
+}
+
+TEST(Cache, RejectsBadConfig) {
+  EXPECT_THROW(Cache({0, 2, 64}), std::invalid_argument);
+  EXPECT_THROW(Cache({64, 4, 64}), std::invalid_argument);  // zero sets
+}
+
+// --- Execution semantics -------------------------------------------------------
+
+TEST(Cpu, RTypeSemanticsRandomized) {
+  Rng rng(23);
+  struct Case {
+    const char* mnem;
+    std::uint64_t (*fn)(std::uint64_t, std::uint64_t);
+  };
+  const Case cases[] = {
+      {"add", [](std::uint64_t a, std::uint64_t b) { return a + b; }},
+      {"sub", [](std::uint64_t a, std::uint64_t b) { return a - b; }},
+      {"and", [](std::uint64_t a, std::uint64_t b) { return a & b; }},
+      {"or", [](std::uint64_t a, std::uint64_t b) { return a | b; }},
+      {"xor", [](std::uint64_t a, std::uint64_t b) { return a ^ b; }},
+      {"mul", [](std::uint64_t a, std::uint64_t b) { return a * b; }},
+      {"sltu",
+       [](std::uint64_t a, std::uint64_t b) -> std::uint64_t {
+         return a < b ? 1 : 0;
+       }},
+      {"sll",
+       [](std::uint64_t a, std::uint64_t b) { return a << (b & 63); }},
+      {"srl",
+       [](std::uint64_t a, std::uint64_t b) { return a >> (b & 63); }},
+  };
+  for (const auto& c : cases) {
+    for (int trial = 0; trial < 6; ++trial) {
+      const std::uint64_t a = rng.word(), b = rng.word();
+      const auto p = assemble(std::string(c.mnem) + " a2, a0, a1\nebreak");
+      Cpu cpu;
+      cpu.load_program(p);
+      cpu.set_reg(10, a);
+      cpu.set_reg(11, b);
+      cpu.run(p.base, 10);
+      EXPECT_EQ(cpu.reg(12), c.fn(a, b)) << c.mnem;
+    }
+  }
+}
+
+TEST(Cpu, LoadStoreAllWidths) {
+  const auto p = assemble(R"(
+    li t0, 0x20000
+    li t1, -2
+    sd t1, 0(t0)
+    lb a0, 0(t0)
+    lbu a1, 0(t0)
+    lh a2, 0(t0)
+    lhu a3, 0(t0)
+    lw a4, 0(t0)
+    lwu a5, 0(t0)
+    ld a6, 0(t0)
+    ebreak
+  )");
+  Cpu cpu;
+  cpu.load_program(p);
+  cpu.run(p.base, 100);
+  EXPECT_EQ(static_cast<std::int64_t>(cpu.reg(10)), -2);
+  EXPECT_EQ(cpu.reg(11), 0xFEu);
+  EXPECT_EQ(static_cast<std::int64_t>(cpu.reg(12)), -2);
+  EXPECT_EQ(cpu.reg(13), 0xFFFEu);
+  EXPECT_EQ(static_cast<std::int64_t>(cpu.reg(14)), -2);
+  EXPECT_EQ(cpu.reg(15), 0xFFFFFFFEu);
+  EXPECT_EQ(cpu.reg(16), 0xFFFFFFFFFFFFFFFEull);
+}
+
+TEST(Cpu, X0IsHardwiredZero) {
+  const auto p = assemble("addi x0, x0, 5\nadd a0, x0, x0\nebreak");
+  Cpu cpu;
+  cpu.load_program(p);
+  cpu.run(p.base, 10);
+  EXPECT_EQ(cpu.reg(10), 0u);
+}
+
+TEST(Cpu, FloatingPointPipeline) {
+  const auto p = assemble(R"(
+    li t0, 3
+    fcvt.d.l fa0, t0
+    li t1, 4
+    fcvt.d.l fa1, t1
+    fmul.d fa2, fa0, fa0
+    fmul.d fa3, fa1, fa1
+    fadd.d fa4, fa2, fa3
+    fsqrt.d fa5, fa4
+    fcvt.l.d a0, fa5
+    flt.d a1, fa0, fa1
+    ebreak
+  )");
+  Cpu cpu;
+  cpu.load_program(p);
+  cpu.run(p.base, 100);
+  EXPECT_EQ(cpu.reg(10), 5u);  // sqrt(9 + 16)
+  EXPECT_EQ(cpu.reg(11), 1u);  // 3 < 4
+}
+
+TEST(Cpu, DivisionEdgeCases) {
+  const auto p = assemble(R"(
+    li a0, 7
+    li a1, 0
+    div a2, a0, a1
+    rem a3, a0, a1
+    li a4, -7
+    li a5, 2
+    div a6, a4, a5
+    ebreak
+  )");
+  Cpu cpu;
+  cpu.load_program(p);
+  cpu.run(p.base, 100);
+  EXPECT_EQ(cpu.reg(12), ~0ull);           // div by zero => -1
+  EXPECT_EQ(cpu.reg(13), 7u);              // rem by zero => dividend
+  EXPECT_EQ(static_cast<std::int64_t>(cpu.reg(16)), -3);
+}
+
+// --- Timing model ---------------------------------------------------------------
+
+TEST(Timing, LoadUseStallsOneCycle) {
+  const char* dependent = R"(
+    li t0, 0x20000
+    ld t1, 0(t0)
+    addi t2, t1, 1   # uses the load result immediately
+    ebreak
+  )";
+  const char* independent = R"(
+    li t0, 0x20000
+    ld t1, 0(t0)
+    addi t2, t0, 1   # does not use the load result
+    ebreak
+  )";
+  auto cycles = [](const char* src) {
+    const auto p = assemble(src);
+    Cpu cpu;
+    cpu.load_program(p);
+    // Warm run to take cold misses out of the comparison.
+    cpu.run(p.base, 100);
+    cpu.reset_perf();
+    const auto r = cpu.run(p.base, 100);
+    return r.cycles;
+  };
+  EXPECT_EQ(cycles(dependent), cycles(independent) + 1);
+}
+
+TEST(Timing, TakenBranchCostsMore) {
+  const auto p_taken = assemble("li a0, 1\nbnez a0, t\nnop\nt: ebreak");
+  const auto p_not = assemble("li a0, 0\nbnez a0, t\nnop\nt: ebreak");
+  auto cycles = [](const Program& p) {
+    Cpu cpu;
+    cpu.load_program(p);
+    cpu.run(p.base, 100);
+    cpu.reset_perf();
+    return cpu.run(p.base, 100).cycles;
+  };
+  // Taken: li + bnez(+2) + ebreak = 5; not taken: li + bnez + nop + ebreak.
+  EXPECT_EQ(cycles(p_taken), cycles(p_not) + 1);
+}
+
+TEST(Timing, DivSlowerThanMul) {
+  auto cycles = [](const char* op) {
+    const auto p = assemble(std::string("li a0, 100\nli a1, 7\n") + op +
+                            " a2, a0, a1\nebreak");
+    Cpu cpu;
+    cpu.load_program(p);
+    cpu.run(p.base, 100);
+    cpu.reset_perf();
+    return cpu.run(p.base, 100).cycles;
+  };
+  EXPECT_GT(cycles("div"), cycles("mul") + 5);
+}
+
+TEST(Timing, CacheMissesCostCycles) {
+  // Stride through 256 KB: misses in L1 (16 KB), mostly hits in L2.
+  const auto p = assemble(R"(
+    li t0, 0x100000
+    li t1, 4096       # lines
+  loop:
+    ld t2, 0(t0)
+    addi t0, t0, 64
+    addi t1, t1, -1
+    bnez t1, loop
+    ebreak
+  )");
+  Cpu cpu;
+  cpu.load_program(p);
+  const auto r = cpu.run(p.base, 1000000);
+  EXPECT_GT(cpu.perf().l1d_misses, 4000u);
+  EXPECT_GT(static_cast<double>(r.cycles) /
+                static_cast<double>(r.instructions),
+            2.0);
+}
+
+TEST(Timing, PerfCountersClassifyOps) {
+  const auto p = assemble(R"(
+    li a0, 5
+    li a1, 6
+    mul a2, a0, a1
+    ld a3, 0(zero)
+    sd a3, 8(zero)
+    beq a0, a0, done
+  done:
+    ebreak
+  )");
+  Cpu cpu;
+  cpu.load_program(p);
+  cpu.run(p.base, 100);
+  EXPECT_EQ(cpu.perf().mul_ops, 1u);
+  EXPECT_EQ(cpu.perf().loads, 1u);
+  EXPECT_EQ(cpu.perf().stores, 1u);
+  EXPECT_EQ(cpu.perf().branches, 1u);
+  EXPECT_EQ(cpu.perf().taken_branches, 1u);
+  EXPECT_GT(cpu.perf().ipc(), 0.0);
+}
+
+TEST(Cpu, IllegalInstructionThrows) {
+  Cpu cpu;
+  cpu.memory().write32(0x10000, 0xFFFFFFFFu);
+  EXPECT_THROW(cpu.run(0x10000, 10), std::runtime_error);
+}
+
+TEST(Memory, SparseAndWide) {
+  Memory m;
+  EXPECT_EQ(m.read64(0x123456789ull), 0u);  // untouched = zero
+  m.write64(0x123456789ull, 0xDEADBEEFCAFEF00Dull);
+  EXPECT_EQ(m.read64(0x123456789ull), 0xDEADBEEFCAFEF00Dull);
+  m.write_double(64, 3.25);
+  EXPECT_DOUBLE_EQ(m.read_double(64), 3.25);
+}
+
+}  // namespace
+}  // namespace cryo::riscv

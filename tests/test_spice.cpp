@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "device/modelcard.hpp"
+#include "spice/engine.hpp"
+
+namespace cryo::spice {
+namespace {
+
+TEST(Waveform, DcAndRamp) {
+  const auto dc = Waveform::dc(0.7);
+  EXPECT_DOUBLE_EQ(dc.value(0.0), 0.7);
+  EXPECT_DOUBLE_EQ(dc.value(1.0), 0.7);
+  const auto ramp = Waveform::ramp(0.0, 1.0, 1e-9, 2e-9);
+  EXPECT_DOUBLE_EQ(ramp.value(0.5e-9), 0.0);
+  EXPECT_DOUBLE_EQ(ramp.value(2e-9), 0.5);
+  EXPECT_DOUBLE_EQ(ramp.value(5e-9), 1.0);
+}
+
+TEST(Waveform, Breakpoints) {
+  const auto ramp = Waveform::ramp(0.0, 1.0, 1e-9, 2e-9);
+  EXPECT_NEAR(ramp.next_breakpoint(0.0), 1e-9, 1e-15);
+  EXPECT_NEAR(ramp.next_breakpoint(1.5e-9), 3e-9, 1e-15);
+  EXPECT_TRUE(std::isinf(ramp.next_breakpoint(10e-9)));
+}
+
+TEST(Waveform, PulseRepeats) {
+  const auto clk = Waveform::pulse(0.0, 1.0, 1e-9, 0.1e-9, 0.1e-9,
+                                   0.9e-9, 2e-9);
+  EXPECT_DOUBLE_EQ(clk.value(0.5e-9), 0.0);
+  EXPECT_DOUBLE_EQ(clk.value(1.5e-9), 1.0);
+  EXPECT_DOUBLE_EQ(clk.value(3.5e-9), 1.0);  // second period
+  EXPECT_DOUBLE_EQ(clk.value(2.5e-9), 0.0);
+}
+
+TEST(Trace, CrossAndTransition) {
+  Trace t;
+  t.time = {0.0, 1.0, 2.0, 3.0};
+  t.value = {0.0, 0.0, 1.0, 1.0};
+  EXPECT_NEAR(t.cross(0.5, true), 1.5, 1e-12);
+  EXPECT_LT(t.cross(0.5, false), 0.0);
+  EXPECT_NEAR(t.transition_time(0.0, 1.0, 0.1, 0.9), 0.8, 1e-9);
+  EXPECT_NEAR(t.at(1.5), 0.5, 1e-12);
+  EXPECT_NEAR(t.integral(), 1.5, 1e-12);
+}
+
+TEST(LuSolve, KnownSystem) {
+  // [2 1; 1 3] x = [5; 10] -> x = [1; 3]
+  std::vector<double> a = {2, 1, 1, 3};
+  std::vector<double> b = {5, 10};
+  ASSERT_TRUE(lu_solve(a, b, 2));
+  EXPECT_NEAR(b[0], 1.0, 1e-12);
+  EXPECT_NEAR(b[1], 3.0, 1e-12);
+}
+
+TEST(LuSolve, DetectsSingular) {
+  std::vector<double> a = {1, 2, 2, 4};
+  std::vector<double> b = {1, 2};
+  EXPECT_FALSE(lu_solve(a, b, 2));
+}
+
+TEST(Circuit, GroundAliases) {
+  Circuit c;
+  EXPECT_EQ(c.node("0"), kGround);
+  EXPECT_EQ(c.node("gnd"), kGround);
+  EXPECT_EQ(c.node("vss"), kGround);
+  EXPECT_NE(c.node("a"), kGround);
+  EXPECT_EQ(c.node("a"), c.node("a"));
+}
+
+TEST(Circuit, RejectsBadElements) {
+  Circuit c;
+  EXPECT_THROW(c.add_resistor("a", "b", 0.0), std::invalid_argument);
+  EXPECT_THROW(c.add_capacitor("a", "b", -1e-15), std::invalid_argument);
+}
+
+TEST(Dc, ResistorDivider) {
+  Circuit c;
+  c.add_vsource("v1", "in", "0", Waveform::dc(1.0));
+  c.add_resistor("in", "mid", 1000.0);
+  c.add_resistor("mid", "0", 3000.0);
+  Engine engine(c);
+  const auto x = engine.dc_operating_point();
+  EXPECT_NEAR(x[c.node("mid") - 1], 0.75, 1e-6);
+  // Source branch current: 1 V / 4 kOhm flowing out of the + terminal.
+  EXPECT_NEAR(x[c.node_count()], -0.25e-3, 1e-8);
+}
+
+TEST(Tran, RcStepResponse) {
+  Circuit c;
+  c.add_vsource("v1", "in", "0", Waveform::ramp(0.0, 1.0, 0.0, 1e-15));
+  c.add_resistor("in", "out", 1000.0);
+  c.add_capacitor("out", "0", 1e-12);  // tau = 1 ns
+  Engine engine(c);
+  TranOptions opt;
+  opt.t_stop = 4e-9;
+  opt.dt_max = 20e-12;
+  const auto result = engine.transient(opt);
+  const auto out = result.node("out");
+  for (double t : {0.5e-9, 1e-9, 2e-9, 3e-9}) {
+    const double expected = 1.0 - std::exp(-t / 1e-9);
+    EXPECT_NEAR(out.at(t), expected, 0.01) << "t=" << t;
+  }
+}
+
+TEST(Tran, CapacitiveDividerConservesCharge) {
+  // Series caps: step splits by inverse capacitance ratio.
+  Circuit c;
+  c.add_vsource("v1", "in", "0",
+                Waveform::ramp(0.0, 1.0, 100e-12, 10e-12));
+  c.add_capacitor("in", "mid", 2e-15);
+  c.add_capacitor("mid", "0", 6e-15);
+  Engine engine(c);
+  TranOptions opt;
+  opt.t_stop = 500e-12;
+  const auto result = engine.transient(opt);
+  EXPECT_NEAR(result.node("mid").value.back(), 0.25, 0.02);
+}
+
+class InverterFixture : public ::testing::Test {
+ protected:
+  Circuit make(double temperature, double load_f) {
+    device::ModelCard n = device::golden_nmos();
+    n.NFIN = 2;
+    device::ModelCard p = device::golden_pmos();
+    p.NFIN = 3;
+    Circuit c;
+    c.add_vsource("vdd", "vdd", "0", Waveform::dc(0.7));
+    c.add_vsource("vin", "in", "0",
+                  Waveform::ramp(0.0, 0.7, 50e-12, 10e-12));
+    c.add_mosfet("mp", "out", "in", "vdd", device::FinFet(p, temperature));
+    c.add_mosfet("mn", "out", "in", "0", device::FinFet(n, temperature));
+    c.add_capacitor("out", "0", load_f);
+    return c;
+  }
+};
+
+TEST_F(InverterFixture, OutputRailsCorrect) {
+  auto c = make(300.0, 1e-15);
+  Engine engine(c);
+  const auto x = engine.dc_operating_point();
+  EXPECT_GT(x[c.node("out") - 1], 0.68);  // input low -> output high
+}
+
+TEST_F(InverterFixture, DelayGrowsWithLoad) {
+  double prev_delay = 0.0;
+  for (double load : {0.5e-15, 2e-15, 8e-15}) {
+    auto c = make(300.0, load);
+    Engine engine(c);
+    TranOptions opt;
+    opt.t_stop = 400e-12;
+    opt.dt_max = 2e-12;
+    const auto result = engine.transient(opt);
+    const double t_in = result.node("in").cross(0.35, true);
+    const double t_out = result.node("out").cross(0.35, false, 0.0);
+    const double delay = t_out - t_in;
+    EXPECT_GT(delay, prev_delay);
+    prev_delay = delay;
+  }
+}
+
+TEST_F(InverterFixture, LeakageCollapsesAtCryo) {
+  auto c300 = make(300.0, 1e-15);
+  auto c10 = make(10.0, 1e-15);
+  Engine e300(c300), e10(c10);
+  const double i300 = std::abs(e300.dc_operating_point()[c300.node_count()]);
+  const double i10 = std::abs(e10.dc_operating_point()[c10.node_count()]);
+  EXPECT_GT(i300 / i10, 30.0);
+}
+
+TEST(Dc, SeriesStackConverges) {
+  // Three stacked PMOS (the NOR3 pull-up shape that once limit-cycled).
+  device::ModelCard p = device::golden_pmos();
+  p.NFIN = 9;
+  Circuit c;
+  c.add_vsource("vdd", "vdd", "0", Waveform::dc(0.7));
+  c.add_mosfet("m1", "y", "0", "n1", device::FinFet(p, 300.0));
+  c.add_mosfet("m2", "n1", "0", "n2", device::FinFet(p, 300.0));
+  c.add_mosfet("m3", "n2", "0", "vdd", device::FinFet(p, 300.0));
+  device::ModelCard n = device::golden_nmos();
+  n.NFIN = 2;
+  c.add_mosfet("m4", "y", "0", "0", device::FinFet(n, 300.0));
+  Engine engine(c);
+  const auto x = engine.dc_operating_point();
+  EXPECT_GT(x[c.node("y") - 1], 0.65);
+}
+
+TEST(Tran, SourceCurrentEnergyMatchesLoad) {
+  // Charging a pure load through an inverter: supply energy >= C*V^2/2.
+  device::ModelCard nn = device::golden_nmos();
+  nn.NFIN = 2;
+  device::ModelCard pp = device::golden_pmos();
+  pp.NFIN = 3;
+  Circuit c;
+  c.add_vsource("vdd", "vdd", "0", Waveform::dc(0.7));
+  c.add_vsource("vin", "in", "0",
+                Waveform::ramp(0.7, 0.0, 50e-12, 10e-12));  // output rises
+  c.add_mosfet("mp", "out", "in", "vdd", device::FinFet(pp, 300.0));
+  c.add_mosfet("mn", "out", "in", "0", device::FinFet(nn, 300.0));
+  const double load = 4e-15;
+  c.add_capacitor("out", "0", load);
+  Engine engine(c);
+  TranOptions opt;
+  opt.t_stop = 500e-12;
+  const auto result = engine.transient(opt);
+  const auto i = result.source_current("vdd");
+  double energy = 0.0;
+  for (std::size_t k = 1; k < i.time.size(); ++k)
+    energy += -0.7 * 0.5 * (i.value[k] + i.value[k - 1]) *
+              (i.time[k] - i.time[k - 1]);
+  const double load_energy = load * 0.7 * 0.7;  // C*V^2 drawn from supply
+  EXPECT_GT(energy, 0.9 * load_energy);
+  EXPECT_LT(energy, 2.5 * load_energy);
+}
+
+}  // namespace
+}  // namespace cryo::spice

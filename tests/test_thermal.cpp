@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "riscv/workloads.hpp"
+#include "thermal/thermal.hpp"
+
+namespace cryo::thermal {
+namespace {
+
+TEST(StageModel, SteadyStateLinearInPower) {
+  StageModel stage;
+  const double t0 = stage.steady_temperature(0.0);
+  EXPECT_DOUBLE_EQ(t0, stage.config().base_temperature);
+  const double t1 = stage.steady_temperature(10e-3);
+  const double t2 = stage.steady_temperature(20e-3);
+  EXPECT_NEAR(t2 - t1, t1 - t0, 1e-12);
+}
+
+TEST(StageModel, ContinuousLimitRespectsBothBounds) {
+  StageModel stage;
+  const double p = stage.max_continuous_power();
+  EXPECT_LE(p, stage.config().cooling_power + 1e-12);
+  EXPECT_LE(stage.steady_temperature(p),
+            stage.config().max_temperature + 1e-9);
+  // Temperature-limited configuration.
+  StageConfig tight;
+  tight.max_temperature = 10.05;
+  const StageModel limited(tight);
+  EXPECT_LT(limited.max_continuous_power(), tight.cooling_power);
+}
+
+TEST(StageModel, RejectsNonPhysicalConfig) {
+  StageConfig bad;
+  bad.capacitance = 0.0;
+  EXPECT_THROW(StageModel{bad}, std::invalid_argument);
+}
+
+TEST(StageModel, ConstantScheduleConvergesToSteadyState) {
+  StageModel stage;
+  BurstSchedule constant{30e-3, 30e-3, 10e-3, 10e-3};
+  const auto trace = stage.simulate(constant, 100);
+  EXPECT_NEAR(trace.temperature.back(), stage.steady_temperature(30e-3),
+              0.01);
+  EXPECT_LT(trace.steady_ripple, 1e-3);
+}
+
+TEST(StageModel, BurstPeakBelowSteadyOfBurstPower) {
+  StageModel stage;
+  // Bursting 100 mW for a tenth of tau cannot come close to the 100 mW
+  // steady state.
+  BurstSchedule s{100e-3, 1e-3, stage.time_constant() / 10.0,
+                  stage.time_constant()};
+  const auto trace = stage.simulate(s, 60);
+  EXPECT_LT(trace.peak, stage.steady_temperature(100e-3));
+  EXPECT_GT(trace.peak, stage.config().base_temperature);
+}
+
+TEST(StageModel, ShorterBurstsAllowMorePower) {
+  StageModel stage;
+  const double idle = 2e-3;
+  const double p_short = stage.max_burst_power(0.5e-3, 20e-3, idle);
+  const double p_long = stage.max_burst_power(5e-3, 20e-3, idle);
+  EXPECT_GT(p_short, p_long * 1.5);
+  // Both sustainable schedules stay inside the limit when re-simulated.
+  for (const auto& [pb, tb] : {std::pair{p_short, 0.5e-3},
+                               std::pair{p_long, 5e-3}}) {
+    BurstSchedule s{pb * 0.999, idle, tb, 20e-3};
+    EXPECT_TRUE(stage.simulate(s, 60).within_limit);
+  }
+}
+
+TEST(StageModel, AveragePowerAccounting) {
+  BurstSchedule s{100e-3, 0.0, 1e-3, 3e-3};
+  EXPECT_NEAR(s.duty(), 0.25, 1e-12);
+  EXPECT_NEAR(s.average_power(), 25e-3, 1e-12);
+}
+
+TEST(StageModel, EmptyScheduleRejected) {
+  StageModel stage;
+  EXPECT_THROW(stage.simulate(BurstSchedule{}, 10), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cryo::thermal
+
+namespace cryo::riscv {
+namespace {
+
+TEST(Workloads, DhrystoneLikeRunsAndHalts) {
+  Cpu cpu;
+  const auto perf = run_dhrystone_like(cpu, 20);
+  EXPECT_GT(perf.instructions, 5000u);
+  EXPECT_GT(perf.ipc(), 0.3);
+  EXPECT_LT(perf.ipc(), 1.0);
+}
+
+TEST(Workloads, InstructionMixIsDhrystoneFlavoured) {
+  Cpu cpu;
+  const auto perf = run_dhrystone_like(cpu, 50);
+  const double n = static_cast<double>(perf.instructions);
+  const double mem_frac =
+      static_cast<double>(perf.loads + perf.stores) / n;
+  const double branch_frac = static_cast<double>(perf.branches) / n;
+  EXPECT_GT(mem_frac, 0.10);
+  EXPECT_LT(mem_frac, 0.45);
+  EXPECT_GT(branch_frac, 0.08);
+  EXPECT_LT(branch_frac, 0.35);
+  EXPECT_GT(perf.mul_ops, 0u);
+}
+
+TEST(Workloads, ScalesWithIterations) {
+  Cpu a, b;
+  const auto p1 = run_dhrystone_like(a, 10);
+  const auto p4 = run_dhrystone_like(b, 40);
+  EXPECT_NEAR(static_cast<double>(p4.instructions) /
+                  static_cast<double>(p1.instructions),
+              4.0, 0.5);
+}
+
+}  // namespace
+}  // namespace cryo::riscv
