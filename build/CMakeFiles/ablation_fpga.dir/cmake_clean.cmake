@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fpga.dir/bench/ablation_fpga.cpp.o"
+  "CMakeFiles/ablation_fpga.dir/bench/ablation_fpga.cpp.o.d"
+  "bench/ablation_fpga"
+  "bench/ablation_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hdc_precompute.dir/bench/ablation_hdc_precompute.cpp.o"
+  "CMakeFiles/ablation_hdc_precompute.dir/bench/ablation_hdc_precompute.cpp.o.d"
+  "bench/ablation_hdc_precompute"
+  "bench/ablation_hdc_precompute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hdc_precompute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_popcount.dir/bench/ablation_popcount.cpp.o"
+  "CMakeFiles/ablation_popcount.dir/bench/ablation_popcount.cpp.o.d"
+  "bench/ablation_popcount"
+  "bench/ablation_popcount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_popcount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

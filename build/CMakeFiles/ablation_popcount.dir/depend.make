@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_popcount.
+# This may be replaced when dependencies are built.

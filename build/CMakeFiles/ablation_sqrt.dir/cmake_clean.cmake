@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sqrt.dir/bench/ablation_sqrt.cpp.o"
+  "CMakeFiles/ablation_sqrt.dir/bench/ablation_sqrt.cpp.o.d"
+  "bench/ablation_sqrt"
+  "bench/ablation_sqrt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sqrt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sram.dir/bench/ablation_sram.cpp.o"
+  "CMakeFiles/ablation_sram.dir/bench/ablation_sram.cpp.o.d"
+  "bench/ablation_sram"
+  "bench/ablation_sram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

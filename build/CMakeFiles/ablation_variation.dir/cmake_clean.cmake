@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_variation.dir/bench/ablation_variation.cpp.o"
+  "CMakeFiles/ablation_variation.dir/bench/ablation_variation.cpp.o.d"
+  "bench/ablation_variation"
+  "bench/ablation_variation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

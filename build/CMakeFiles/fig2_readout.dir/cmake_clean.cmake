@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_readout.dir/bench/fig2_readout.cpp.o"
+  "CMakeFiles/fig2_readout.dir/bench/fig2_readout.cpp.o.d"
+  "bench/fig2_readout"
+  "bench/fig2_readout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_readout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_transfer.dir/bench/fig3_transfer.cpp.o"
+  "CMakeFiles/fig3_transfer.dir/bench/fig3_transfer.cpp.o.d"
+  "bench/fig3_transfer"
+  "bench/fig3_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_delay_hist.dir/bench/fig5_delay_hist.cpp.o"
+  "CMakeFiles/fig5_delay_hist.dir/bench/fig5_delay_hist.cpp.o.d"
+  "bench/fig5_delay_hist"
+  "bench/fig5_delay_hist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_delay_hist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen_libraries.dir/gen_libraries.cpp.o"
+  "CMakeFiles/gen_libraries.dir/gen_libraries.cpp.o.d"
+  "gen_libraries"
+  "gen_libraries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen_libraries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

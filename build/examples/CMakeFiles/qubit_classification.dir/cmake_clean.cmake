@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qubit_classification.dir/qubit_classification.cpp.o"
+  "CMakeFiles/qubit_classification.dir/qubit_classification.cpp.o.d"
+  "qubit_classification"
+  "qubit_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qubit_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_feasibility.dir/soc_feasibility.cpp.o"
+  "CMakeFiles/soc_feasibility.dir/soc_feasibility.cpp.o.d"
+  "soc_feasibility"
+  "soc_feasibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_feasibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

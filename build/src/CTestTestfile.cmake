@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("device")
+subdirs("calib")
+subdirs("spice")
+subdirs("cells")
+subdirs("charlib")
+subdirs("liberty")
+subdirs("netlist")
+subdirs("synth")
+subdirs("sta")
+subdirs("sram")
+subdirs("thermal")
+subdirs("fpga")
+subdirs("gatesim")
+subdirs("power")
+subdirs("riscv")
+subdirs("qubit")
+subdirs("classify")
+subdirs("core")

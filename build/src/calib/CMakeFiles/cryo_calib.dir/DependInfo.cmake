@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/calib/extraction.cpp" "src/calib/CMakeFiles/cryo_calib.dir/extraction.cpp.o" "gcc" "src/calib/CMakeFiles/cryo_calib.dir/extraction.cpp.o.d"
+  "/root/repo/src/calib/measurement.cpp" "src/calib/CMakeFiles/cryo_calib.dir/measurement.cpp.o" "gcc" "src/calib/CMakeFiles/cryo_calib.dir/measurement.cpp.o.d"
+  "/root/repo/src/calib/optimizer.cpp" "src/calib/CMakeFiles/cryo_calib.dir/optimizer.cpp.o" "gcc" "src/calib/CMakeFiles/cryo_calib.dir/optimizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/device/CMakeFiles/cryo_device.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cryo_calib.dir/extraction.cpp.o"
+  "CMakeFiles/cryo_calib.dir/extraction.cpp.o.d"
+  "CMakeFiles/cryo_calib.dir/measurement.cpp.o"
+  "CMakeFiles/cryo_calib.dir/measurement.cpp.o.d"
+  "CMakeFiles/cryo_calib.dir/optimizer.cpp.o"
+  "CMakeFiles/cryo_calib.dir/optimizer.cpp.o.d"
+  "libcryo_calib.a"
+  "libcryo_calib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cryo_calib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cryo_cells.dir/catalog.cpp.o"
+  "CMakeFiles/cryo_cells.dir/catalog.cpp.o.d"
+  "libcryo_cells.a"
+  "libcryo_cells.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cryo_cells.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

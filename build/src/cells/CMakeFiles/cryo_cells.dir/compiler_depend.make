@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cryo_cells.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/charlib/characterizer.cpp" "src/charlib/CMakeFiles/cryo_charlib.dir/characterizer.cpp.o" "gcc" "src/charlib/CMakeFiles/cryo_charlib.dir/characterizer.cpp.o.d"
+  "/root/repo/src/charlib/library.cpp" "src/charlib/CMakeFiles/cryo_charlib.dir/library.cpp.o" "gcc" "src/charlib/CMakeFiles/cryo_charlib.dir/library.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cells/CMakeFiles/cryo_cells.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/cryo_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/cryo_device.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cryo_charlib.dir/characterizer.cpp.o"
+  "CMakeFiles/cryo_charlib.dir/characterizer.cpp.o.d"
+  "CMakeFiles/cryo_charlib.dir/library.cpp.o"
+  "CMakeFiles/cryo_charlib.dir/library.cpp.o.d"
+  "libcryo_charlib.a"
+  "libcryo_charlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cryo_charlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/classify/classifiers.cpp" "src/classify/CMakeFiles/cryo_classify.dir/classifiers.cpp.o" "gcc" "src/classify/CMakeFiles/cryo_classify.dir/classifiers.cpp.o.d"
+  "/root/repo/src/classify/kernels.cpp" "src/classify/CMakeFiles/cryo_classify.dir/kernels.cpp.o" "gcc" "src/classify/CMakeFiles/cryo_classify.dir/kernels.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/qubit/CMakeFiles/cryo_qubit.dir/DependInfo.cmake"
+  "/root/repo/build/src/riscv/CMakeFiles/cryo_riscv.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cryo_classify.dir/classifiers.cpp.o"
+  "CMakeFiles/cryo_classify.dir/classifiers.cpp.o.d"
+  "CMakeFiles/cryo_classify.dir/kernels.cpp.o"
+  "CMakeFiles/cryo_classify.dir/kernels.cpp.o.d"
+  "libcryo_classify.a"
+  "libcryo_classify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cryo_classify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

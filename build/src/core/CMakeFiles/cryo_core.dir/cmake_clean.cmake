@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cryo_core.dir/flow.cpp.o"
+  "CMakeFiles/cryo_core.dir/flow.cpp.o.d"
+  "libcryo_core.a"
+  "libcryo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cryo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/finfet.cpp" "src/device/CMakeFiles/cryo_device.dir/finfet.cpp.o" "gcc" "src/device/CMakeFiles/cryo_device.dir/finfet.cpp.o.d"
+  "/root/repo/src/device/ids_cache.cpp" "src/device/CMakeFiles/cryo_device.dir/ids_cache.cpp.o" "gcc" "src/device/CMakeFiles/cryo_device.dir/ids_cache.cpp.o.d"
+  "/root/repo/src/device/modelcard.cpp" "src/device/CMakeFiles/cryo_device.dir/modelcard.cpp.o" "gcc" "src/device/CMakeFiles/cryo_device.dir/modelcard.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cryo_device.dir/finfet.cpp.o"
+  "CMakeFiles/cryo_device.dir/finfet.cpp.o.d"
+  "CMakeFiles/cryo_device.dir/ids_cache.cpp.o"
+  "CMakeFiles/cryo_device.dir/ids_cache.cpp.o.d"
+  "CMakeFiles/cryo_device.dir/modelcard.cpp.o"
+  "CMakeFiles/cryo_device.dir/modelcard.cpp.o.d"
+  "libcryo_device.a"
+  "libcryo_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cryo_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cryo_fpga.dir/fabric.cpp.o"
+  "CMakeFiles/cryo_fpga.dir/fabric.cpp.o.d"
+  "libcryo_fpga.a"
+  "libcryo_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cryo_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

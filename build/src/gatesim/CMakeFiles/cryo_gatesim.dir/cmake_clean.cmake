@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cryo_gatesim.dir/gatesim.cpp.o"
+  "CMakeFiles/cryo_gatesim.dir/gatesim.cpp.o.d"
+  "libcryo_gatesim.a"
+  "libcryo_gatesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cryo_gatesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

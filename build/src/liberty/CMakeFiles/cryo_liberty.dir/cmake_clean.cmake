@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cryo_liberty.dir/liberty.cpp.o"
+  "CMakeFiles/cryo_liberty.dir/liberty.cpp.o.d"
+  "libcryo_liberty.a"
+  "libcryo_liberty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cryo_liberty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cryo_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/cryo_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/cryo_netlist.dir/soc_gen.cpp.o"
+  "CMakeFiles/cryo_netlist.dir/soc_gen.cpp.o.d"
+  "libcryo_netlist.a"
+  "libcryo_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cryo_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

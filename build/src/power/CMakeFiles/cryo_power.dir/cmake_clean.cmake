@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cryo_power.dir/power.cpp.o"
+  "CMakeFiles/cryo_power.dir/power.cpp.o.d"
+  "libcryo_power.a"
+  "libcryo_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cryo_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cryo_qubit.dir/readout.cpp.o"
+  "CMakeFiles/cryo_qubit.dir/readout.cpp.o.d"
+  "libcryo_qubit.a"
+  "libcryo_qubit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cryo_qubit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

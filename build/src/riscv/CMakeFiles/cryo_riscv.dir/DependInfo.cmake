@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/riscv/assembler.cpp" "src/riscv/CMakeFiles/cryo_riscv.dir/assembler.cpp.o" "gcc" "src/riscv/CMakeFiles/cryo_riscv.dir/assembler.cpp.o.d"
+  "/root/repo/src/riscv/cpu.cpp" "src/riscv/CMakeFiles/cryo_riscv.dir/cpu.cpp.o" "gcc" "src/riscv/CMakeFiles/cryo_riscv.dir/cpu.cpp.o.d"
+  "/root/repo/src/riscv/isa.cpp" "src/riscv/CMakeFiles/cryo_riscv.dir/isa.cpp.o" "gcc" "src/riscv/CMakeFiles/cryo_riscv.dir/isa.cpp.o.d"
+  "/root/repo/src/riscv/workloads.cpp" "src/riscv/CMakeFiles/cryo_riscv.dir/workloads.cpp.o" "gcc" "src/riscv/CMakeFiles/cryo_riscv.dir/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cryo_riscv.dir/assembler.cpp.o"
+  "CMakeFiles/cryo_riscv.dir/assembler.cpp.o.d"
+  "CMakeFiles/cryo_riscv.dir/cpu.cpp.o"
+  "CMakeFiles/cryo_riscv.dir/cpu.cpp.o.d"
+  "CMakeFiles/cryo_riscv.dir/isa.cpp.o"
+  "CMakeFiles/cryo_riscv.dir/isa.cpp.o.d"
+  "CMakeFiles/cryo_riscv.dir/workloads.cpp.o"
+  "CMakeFiles/cryo_riscv.dir/workloads.cpp.o.d"
+  "libcryo_riscv.a"
+  "libcryo_riscv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cryo_riscv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

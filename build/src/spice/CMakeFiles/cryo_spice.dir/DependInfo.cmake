@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spice/circuit.cpp" "src/spice/CMakeFiles/cryo_spice.dir/circuit.cpp.o" "gcc" "src/spice/CMakeFiles/cryo_spice.dir/circuit.cpp.o.d"
+  "/root/repo/src/spice/engine.cpp" "src/spice/CMakeFiles/cryo_spice.dir/engine.cpp.o" "gcc" "src/spice/CMakeFiles/cryo_spice.dir/engine.cpp.o.d"
+  "/root/repo/src/spice/waveform.cpp" "src/spice/CMakeFiles/cryo_spice.dir/waveform.cpp.o" "gcc" "src/spice/CMakeFiles/cryo_spice.dir/waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/device/CMakeFiles/cryo_device.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cryo_sram.dir/sram.cpp.o"
+  "CMakeFiles/cryo_sram.dir/sram.cpp.o.d"
+  "libcryo_sram.a"
+  "libcryo_sram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cryo_sram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

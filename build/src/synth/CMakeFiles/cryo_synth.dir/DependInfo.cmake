@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/synth.cpp" "src/synth/CMakeFiles/cryo_synth.dir/synth.cpp.o" "gcc" "src/synth/CMakeFiles/cryo_synth.dir/synth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/charlib/CMakeFiles/cryo_charlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/cryo_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/cells/CMakeFiles/cryo_cells.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/cryo_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/cryo_device.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cryo_synth.dir/synth.cpp.o"
+  "CMakeFiles/cryo_synth.dir/synth.cpp.o.d"
+  "libcryo_synth.a"
+  "libcryo_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cryo_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cryo_thermal.dir/thermal.cpp.o"
+  "CMakeFiles/cryo_thermal.dir/thermal.cpp.o.d"
+  "libcryo_thermal.a"
+  "libcryo_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cryo_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

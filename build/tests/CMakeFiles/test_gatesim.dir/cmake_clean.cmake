@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gatesim.dir/test_gatesim.cpp.o"
+  "CMakeFiles/test_gatesim.dir/test_gatesim.cpp.o.d"
+  "test_gatesim"
+  "test_gatesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gatesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

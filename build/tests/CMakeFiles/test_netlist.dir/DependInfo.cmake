@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_netlist.cpp" "tests/CMakeFiles/test_netlist.dir/test_netlist.cpp.o" "gcc" "tests/CMakeFiles/test_netlist.dir/test_netlist.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cryo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/calib/CMakeFiles/cryo_calib.dir/DependInfo.cmake"
+  "/root/repo/build/src/liberty/CMakeFiles/cryo_liberty.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/cryo_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/cryo_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sta/CMakeFiles/cryo_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/classify/CMakeFiles/cryo_classify.dir/DependInfo.cmake"
+  "/root/repo/build/src/qubit/CMakeFiles/cryo_qubit.dir/DependInfo.cmake"
+  "/root/repo/build/src/riscv/CMakeFiles/cryo_riscv.dir/DependInfo.cmake"
+  "/root/repo/build/src/gatesim/CMakeFiles/cryo_gatesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/charlib/CMakeFiles/cryo_charlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/cryo_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/cryo_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/cryo_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/sram/CMakeFiles/cryo_sram.dir/DependInfo.cmake"
+  "/root/repo/build/src/cells/CMakeFiles/cryo_cells.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/cryo_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/cryo_device.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_riscv.dir/test_riscv.cpp.o"
+  "CMakeFiles/test_riscv.dir/test_riscv.cpp.o.d"
+  "test_riscv"
+  "test_riscv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_riscv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sta_power.dir/test_sta_power.cpp.o"
+  "CMakeFiles/test_sta_power.dir/test_sta_power.cpp.o.d"
+  "test_sta_power"
+  "test_sta_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sta_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
