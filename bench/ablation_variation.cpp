@@ -12,6 +12,7 @@
 #include "common/math.hpp"
 #include "common/rng.hpp"
 #include "device/finfet.hpp"
+#include "exec/exec.hpp"
 #include "spice/engine.hpp"
 
 namespace {
@@ -63,11 +64,14 @@ int main() {
               "sigma/mean [%]");
   double rel300 = 0.0, rel10 = 0.0;
   for (const double t : {300.0, 10.0}) {
-    Rng rng(2024);
-    std::vector<double> delays(kSamples);
-    for (int i = 0; i < kSamples; ++i)
-      delays[static_cast<std::size_t>(i)] =
-          inverter_delay(t, kSigmaVth, kSigmaU0, rng);
+    // Monte Carlo samples run concurrently; each draws from its own RNG
+    // stream seeded by the task index, so the spread is identical at any
+    // thread count.
+    const auto delays = exec::parallel_map<double>(
+        static_cast<std::size_t>(kSamples), [&](std::size_t i) {
+          Rng rng(exec::task_seed(2024, i));
+          return inverter_delay(t, kSigmaVth, kSigmaU0, rng);
+        });
     const double m = mean(delays);
     const double s = stddev(delays);
     (t > 100 ? rel300 : rel10) = s / m;

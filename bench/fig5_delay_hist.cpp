@@ -8,29 +8,47 @@
 #include "bench_util.hpp"
 #include "common/histogram.hpp"
 #include "common/math.hpp"
+#include "exec/exec.hpp"
 
 int main() {
   using namespace cryo;
   bench::header("fig5_delay_hist: library-wide delay histograms",
                 "paper Fig. 5");
 
-  std::vector<double> d300, d10;
-  double leak300 = 0.0, leak10 = 0.0;
   const auto& lib300 = bench::flow().library(300.0);
   const auto& lib10 = bench::flow().library(10.0);
-  for (std::size_t c = 0; c < lib300.cells.size(); ++c) {
-    leak300 += lib300.cells[c].leakage_avg;
-    leak10 += lib10.cells[c].leakage_avg;
-    for (std::size_t a = 0; a < lib300.cells[c].arcs.size(); ++a) {
-      const auto& t3 = lib300.cells[c].arcs[a].delay;
-      const auto& t1 = lib10.cells[c].arcs[a].delay;
-      for (std::size_t i = 0; i < t3.rows(); ++i) {
-        for (std::size_t j = 0; j < t3.cols(); ++j) {
-          d300.push_back(t3.at(i, j));
-          d10.push_back(t1.at(i, j));
+
+  // Per-cell delay collection is independent; gather concurrently and
+  // merge in cell order so the histogram fill order stays deterministic.
+  struct CellSamples {
+    std::vector<double> d300, d10;
+    double leak300 = 0.0, leak10 = 0.0;
+  };
+  const auto samples = exec::parallel_map<CellSamples>(
+      lib300.cells.size(), [&](std::size_t c) {
+        CellSamples s;
+        s.leak300 = lib300.cells[c].leakage_avg;
+        s.leak10 = lib10.cells[c].leakage_avg;
+        for (std::size_t a = 0; a < lib300.cells[c].arcs.size(); ++a) {
+          const auto& t3 = lib300.cells[c].arcs[a].delay;
+          const auto& t1 = lib10.cells[c].arcs[a].delay;
+          for (std::size_t i = 0; i < t3.rows(); ++i) {
+            for (std::size_t j = 0; j < t3.cols(); ++j) {
+              s.d300.push_back(t3.at(i, j));
+              s.d10.push_back(t1.at(i, j));
+            }
+          }
         }
-      }
-    }
+        return s;
+      });
+
+  std::vector<double> d300, d10;
+  double leak300 = 0.0, leak10 = 0.0;
+  for (const auto& s : samples) {
+    leak300 += s.leak300;
+    leak10 += s.leak10;
+    d300.insert(d300.end(), s.d300.begin(), s.d300.end());
+    d10.insert(d10.end(), s.d10.begin(), s.d10.end());
   }
 
   const double hi = 0.06e-9;  // 0.06 ns covers the bulk, like the paper

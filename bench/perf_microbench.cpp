@@ -2,13 +2,26 @@
 // evaluation (analytic vs tabulated), SPICE inverter transients, ISS
 // instruction throughput, and STA on the full SoC. These guard the
 // performance that makes full-library characterization tractable.
+//
+// After the microbenchmarks, a characterization-scaling measurement times
+// charlib::Characterizer::characterize_all at 1 thread vs. 4 vs. the
+// hardware concurrency, checks the Liberty outputs are byte-identical,
+// and writes machine-readable BENCH_charlib.json for the perf trajectory.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <memory>
+#include <thread>
+#include <vector>
 
 #include "bench_util.hpp"
+#include "cells/celldef.hpp"
+#include "charlib/characterizer.hpp"
 #include "device/finfet.hpp"
 #include "device/ids_cache.hpp"
+#include "liberty/liberty.hpp"
 #include "riscv/cpu.hpp"
 #include "spice/engine.hpp"
 #include "sta/sta.hpp"
@@ -108,6 +121,74 @@ void BM_StaFullSoc(benchmark::State& state) {
 }
 BENCHMARK(BM_StaFullSoc);
 
+// Characterization scaling: the paper's 2x-library hot path. A catalog
+// subset keeps the run in seconds; speedup extrapolates since cells are
+// independent tasks.
+void run_charlib_scaling() {
+  using clock = std::chrono::steady_clock;
+  cells::CatalogOptions cat;
+  cat.only_bases = {"INV", "BUF", "NAND2", "NOR2", "XOR2", "AOI21"};
+  cat.drives = {1, 2};
+  const auto defs = cells::standard_cells(cat);
+
+  charlib::CharOptions opt;
+  opt.temperature = 300.0;
+  opt.vdd = 0.7;
+  opt.characterize_setup_hold = false;
+
+  const auto time_run = [&](int threads, std::string* liberty_text) {
+    charlib::CharOptions o = opt;
+    o.threads = threads;
+    charlib::Characterizer ch(cryo::device::golden_nmos(),
+                              cryo::device::golden_pmos(), o);
+    const auto t0 = clock::now();
+    const auto lib = ch.characterize_all(defs, "bench_scaling");
+    const double dt = std::chrono::duration<double>(clock::now() - t0).count();
+    if (liberty_text) *liberty_text = liberty::write(lib);
+    return dt;
+  };
+
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  std::printf("\ncharlib scaling: %zu cells, 7x7 grid, hw=%u\n", defs.size(),
+              hw);
+  std::string serial_lib;
+  const double t_serial = time_run(1, &serial_lib);
+  std::printf("  threads= 1: %.2f s\n", t_serial);
+
+  std::vector<unsigned> counts = {4};
+  if (hw > 1 && hw != 4) counts.push_back(hw);
+  std::string json = "{\n  \"bench\": \"characterize_all\",\n";
+  json += "  \"cells\": " + std::to_string(defs.size()) + ",\n";
+  json += "  \"grid\": \"7x7\",\n";
+  json += "  \"hardware_concurrency\": " + std::to_string(hw) + ",\n";
+  json += "  \"serial_seconds\": " + std::to_string(t_serial) + ",\n";
+  json += "  \"runs\": [";
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    std::string lib_text;
+    const double t = time_run(static_cast<int>(counts[i]), &lib_text);
+    const bool identical = lib_text == serial_lib;
+    const double speedup = t_serial / t;
+    std::printf("  threads=%2u: %.2f s  speedup %.2fx  byte-identical: %s\n",
+                counts[i], t, speedup, identical ? "yes" : "NO");
+    if (i) json += ", ";
+    json += "{\"threads\": " + std::to_string(counts[i]) +
+            ", \"seconds\": " + std::to_string(t) +
+            ", \"speedup\": " + std::to_string(speedup) +
+            ", \"byte_identical\": " + (identical ? "true" : "false") + "}";
+  }
+  json += "]\n}\n";
+  std::ofstream f("BENCH_charlib.json");
+  f << json;
+  std::printf("  wrote BENCH_charlib.json\n");
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  run_charlib_scaling();
+  return 0;
+}

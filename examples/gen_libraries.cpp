@@ -8,6 +8,11 @@
 
 int main() {
   cryo::core::FlowConfig config;
+  // Golden modelcards, matching the tests and benches: the committed
+  // artifacts then carry the fingerprint those consumers recompute, so
+  // they load from the store instead of re-characterizing. A calibrated
+  // config fingerprints differently and regenerates on first use.
+  config.calibrate_devices = false;
   cryo::core::CryoSocFlow flow(config);
   for (double t : {300.0, 10.0}) {
     const auto& lib = flow.library(t);

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/math.hpp"
+#include "exec/exec.hpp"
 
 namespace cryo::calib {
 namespace {
@@ -58,7 +59,7 @@ std::vector<double> grid_search(const std::vector<FitParameter>& parameters,
                                 const ResidualFn& residuals,
                                 int points_per_axis) {
   const std::size_t n = parameters.size();
-  std::vector<double> best(n), trial(n);
+  std::vector<double> best(n);
   for (std::size_t i = 0; i < n; ++i) best[i] = parameters[i].initial;
   double best_cost = cost_of(residuals(best));
 
@@ -68,7 +69,8 @@ std::vector<double> grid_search(const std::vector<FitParameter>& parameters,
       t *= static_cast<std::size_t>(points_per_axis);
     return t;
   }();
-  for (std::size_t idx = 0; idx < total; ++idx) {
+  const auto trial_at = [&](std::size_t idx) {
+    std::vector<double> values(n);
     std::size_t rem = idx;
     for (std::size_t i = 0; i < n; ++i) {
       const auto k = static_cast<int>(rem % points_per_axis);
@@ -77,13 +79,20 @@ std::vector<double> grid_search(const std::vector<FitParameter>& parameters,
           points_per_axis == 1
               ? 0.5
               : static_cast<double>(k) / (points_per_axis - 1);
-      trial[i] = parameters[i].lower +
-                 t * (parameters[i].upper - parameters[i].lower);
+      values[i] = parameters[i].lower +
+                  t * (parameters[i].upper - parameters[i].lower);
     }
-    const double c = cost_of(residuals(trial));
-    if (c < best_cost) {
-      best_cost = c;
-      best = trial;
+    return values;
+  };
+  // Trials are independent; evaluate them concurrently, then pick the
+  // winner by a serial in-order scan (lowest index wins ties, identical to
+  // the serial loop).
+  const auto costs = exec::parallel_map<double>(
+      total, [&](std::size_t idx) { return cost_of(residuals(trial_at(idx))); });
+  for (std::size_t idx = 0; idx < total; ++idx) {
+    if (costs[idx] < best_cost) {
+      best_cost = costs[idx];
+      best = trial_at(idx);
     }
   }
   return best;
@@ -125,18 +134,21 @@ FitResult levenberg_marquardt(const std::vector<FitParameter>& parameters,
 
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     ++result.iterations;
-    // Numeric Jacobian (forward differences) in normalized space.
+    // Numeric Jacobian (forward differences) in normalized space. Columns
+    // are independent residual evaluations — the per-stage fit's dominant
+    // cost — so compute them concurrently; each column writes a disjoint
+    // stride of `jac`.
     std::vector<double> jac(m * n);
-    for (std::size_t j = 0; j < n; ++j) {
+    exec::parallel_for(n, [&](std::size_t j) {
       const double h = options.diff_step * std::max(std::abs(x[j]), 1.0);
       auto xp = x;
       xp[j] = clamp(xp[j] + h, lo[j], hi[j]);
       const double dh = xp[j] - x[j];
-      if (std::abs(dh) < 1e-300) continue;
+      if (std::abs(dh) < 1e-300) return;
       const auto rp = eval(xp);
       for (std::size_t i = 0; i < m; ++i)
         jac[i * n + j] = (rp[i] - r[i]) / dh;
-    }
+    });
     // Normal equations: A = J^T J, g = -J^T r.
     std::vector<double> a(n * n, 0.0), g(n, 0.0);
     for (std::size_t i = 0; i < m; ++i) {

@@ -37,7 +37,10 @@ struct FitResult {
 };
 
 // Residuals: maps parameter values (original units, same order as the
-// FitParameter list) to a residual vector.
+// FitParameter list) to a residual vector. Both the LM Jacobian and the
+// grid scan evaluate it concurrently (via cryo::exec), so the function
+// must be safe to call from multiple threads at once — pure functions of
+// the parameter vector qualify.
 using ResidualFn =
     std::function<std::vector<double>(const std::vector<double>&)>;
 

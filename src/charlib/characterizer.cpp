@@ -4,9 +4,9 @@
 #include <cmath>
 #include <functional>
 #include <stdexcept>
-#include <thread>
 
 #include "common/units.hpp"
+#include "exec/exec.hpp"
 #include "spice/engine.hpp"
 
 namespace cryo::charlib {
@@ -120,10 +120,13 @@ std::vector<LeakageState> Characterizer::measure_leakage(
       tran.t_stop = 450e-12;
       tran.dt_max = 8e-12;
       const auto result = engine.transient(tran);
-      // Average supply current over the final quiet window.
-      const double energy =
-          supply_energy(result, options_.vdd, 350e-12, tran.t_stop);
-      out.push_back({pat, energy / 100e-12});
+      // The transient only settles the keeper loop into a valid state;
+      // averaging its supply current would bury the static leakage under
+      // integration noise. Re-solve DC from the settled state instead.
+      const auto x =
+          engine.dc_operating_point_from(result.final_state(), tran.t_stop);
+      const double i_vdd = x[circuit.node_count()];
+      out.push_back({pat, -options_.vdd * i_vdd});
     } else {
       const auto x = engine.dc_operating_point();
       // vdd is the first source; its branch current is x[n_nodes].
@@ -432,29 +435,13 @@ Library Characterizer::characterize_all(
   lib.load_grid = options_.loads;
   lib.cells.resize(cell_defs.size());
 
-  const unsigned n_threads =
-      options_.threads > 0
-          ? static_cast<unsigned>(options_.threads)
-          : std::max(1u, std::thread::hardware_concurrency());
-  std::atomic<std::size_t> next{0};
-  std::vector<std::thread> workers;
-  std::vector<std::exception_ptr> errors(n_threads);
-  for (unsigned w = 0; w < n_threads; ++w) {
-    workers.emplace_back([&, w] {
-      try {
-        while (true) {
-          const std::size_t i = next.fetch_add(1);
-          if (i >= cell_defs.size()) break;
-          lib.cells[i] = characterize(cell_defs[i]);
-        }
-      } catch (...) {
-        errors[w] = std::current_exception();
-      }
-    });
-  }
-  for (auto& t : workers) t.join();
-  for (const auto& e : errors)
-    if (e) std::rethrow_exception(e);
+  // One task per cell; cells are written by index, so the merged library
+  // (and hence the Liberty artifact) is byte-identical at any thread
+  // count. Exceptions cancel the batch and propagate to the caller.
+  exec::parallel_for(
+      cell_defs.size(),
+      [&](std::size_t i) { lib.cells[i] = characterize(cell_defs[i]); },
+      options_.threads);
   return lib;
 }
 

@@ -30,7 +30,10 @@ struct CharOptions {
   std::vector<double> loads = {0.25e-15, 0.5e-15, 1e-15, 2e-15,
                                4e-15, 8e-15, 16e-15};
   bool characterize_setup_hold = true;
-  int threads = 0;  // 0 = hardware concurrency
+  // Worker threads for characterize_all: > 0 explicit, 0 = defer to the
+  // CRYOSOC_THREADS environment variable / hardware concurrency (see
+  // exec::thread_count).
+  int threads = 0;
 };
 
 class Characterizer {

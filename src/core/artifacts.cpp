@@ -1,0 +1,123 @@
+#include "core/artifacts.hpp"
+
+#include <cstdio>
+#include <filesystem>
+
+namespace cryo::core {
+namespace {
+
+// Canonical double rendering: %.17g round-trips IEEE doubles exactly, so
+// two configurations hash equal iff their values are bit-equal.
+std::string double_text(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+void append_double(std::string& out, double v) {
+  out += double_text(v);
+  out += ";";
+}
+
+std::string canonical_modelcard(const device::ModelCard& card) {
+  std::string text;
+  text += card.polarity == device::Polarity::kNmos ? "nmos;" : "pmos;";
+  text += "NFIN=";
+  text += std::to_string(card.NFIN);
+  text += ";";
+  for (const auto& name : device::ModelCard::parameter_names()) {
+    text += name;
+    text += "=";
+    append_double(text, card.get(name));
+  }
+  return text;
+}
+
+std::string canonical_catalog(const cells::CatalogOptions& catalog) {
+  std::string text = "drives=";
+  for (int d : catalog.drives) {
+    text += std::to_string(d);
+    text += ",";
+  }
+  text += ";extra=";
+  for (int d : catalog.extra_drives_common) {
+    text += std::to_string(d);
+    text += ",";
+  }
+  text += ";slvt=";
+  text += catalog.include_slvt ? "1" : "0";
+  text += ";bases=";
+  for (const auto& b : catalog.only_bases) {
+    text += b;
+    text += ",";
+  }
+  return text;
+}
+
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(std::string_view text) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : text) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+liberty::Manifest ArtifactKey::manifest() const {
+  liberty::Manifest m;
+  m.fingerprint = fingerprint;
+  m.fields = fields;
+  return m;
+}
+
+ArtifactKey library_artifact_key(const device::ModelCard& nmos,
+                                 const device::ModelCard& pmos,
+                                 const cells::CatalogOptions& catalog,
+                                 double vdd, double temperature,
+                                 std::string_view version) {
+  ArtifactKey key;
+  const std::uint64_t h_n = fnv1a64(canonical_modelcard(nmos));
+  const std::uint64_t h_p = fnv1a64(canonical_modelcard(pmos));
+  const std::uint64_t h_cat = fnv1a64(canonical_catalog(catalog));
+
+  const std::string vdd_text = double_text(vdd);
+  const std::string temp_text = double_text(temperature);
+
+  std::string canonical;
+  canonical += "version=";
+  canonical += version;
+  canonical += ";nmos=" + hex16(h_n);
+  canonical += ";pmos=" + hex16(h_p);
+  canonical += ";catalog=" + hex16(h_cat);
+  canonical += ";vdd=" + vdd_text;
+  canonical += ";temperature=" + temp_text;
+  key.fingerprint = fnv1a64(canonical);
+
+  key.fields = {
+      {"version", std::string(version)},
+      {"temperature", temp_text},
+      {"vdd", vdd_text},
+      {"modelcard-nmos", hex16(h_n)},
+      {"modelcard-pmos", hex16(h_p)},
+      {"catalog", hex16(h_cat)},
+  };
+  return key;
+}
+
+bool artifact_fresh(const std::string& lib_path, const ArtifactKey& key) {
+  std::error_code ec;
+  if (!std::filesystem::exists(lib_path, ec)) return false;
+  const auto manifest = liberty::read_manifest(lib_path);
+  return manifest && manifest->fingerprint == key.fingerprint;
+}
+
+}  // namespace cryo::core

@@ -1,0 +1,50 @@
+// Content-fingerprinted Liberty artifact store.
+//
+// The old flow trusted any lib/<name>.lib file blindly: an artifact
+// characterized from a different modelcard, catalog, supply, or an older
+// characterizer silently poisoned every downstream STA/power number. Here
+// every input that determines a library's content — both modelcards, the
+// catalog options, vdd, the temperature, and a characterizer version tag —
+// is rendered into a canonical text and hashed (FNV-1a 64); the hash is
+// stored in a sidecar manifest next to the .lib (see liberty::Manifest).
+// An artifact is reused only when its manifest fingerprint matches the
+// fingerprint recomputed from the current configuration; anything else is
+// re-characterized and the manifest rewritten.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "cells/celldef.hpp"
+#include "device/modelcard.hpp"
+#include "liberty/liberty.hpp"
+
+namespace cryo::core {
+
+// Bump whenever the characterization algorithm changes in a way that
+// alters artifact content (grids, measurement windows, leakage method...).
+inline constexpr std::string_view kCharacterizerVersion = "charlib-v2";
+
+// FNV-1a 64-bit hash of a byte string.
+std::uint64_t fnv1a64(std::string_view text);
+
+// Key identifying one characterized library artifact. `fields` carries the
+// per-input sub-hashes for the manifest, so a human diffing two manifests
+// can see which input moved.
+struct ArtifactKey {
+  std::uint64_t fingerprint = 0;
+  liberty::Manifest manifest() const;
+  std::vector<std::pair<std::string, std::string>> fields;
+};
+
+// Builds the key for a library characterized from the given inputs.
+ArtifactKey library_artifact_key(
+    const device::ModelCard& nmos, const device::ModelCard& pmos,
+    const cells::CatalogOptions& catalog, double vdd, double temperature,
+    std::string_view version = kCharacterizerVersion);
+
+// True if `lib_path` exists and its sidecar manifest matches `key`.
+bool artifact_fresh(const std::string& lib_path, const ArtifactKey& key);
+
+}  // namespace cryo::core

@@ -4,6 +4,8 @@
 #include <filesystem>
 #include <stdexcept>
 
+#include "core/artifacts.hpp"
+#include "exec/exec.hpp"
 #include "liberty/liberty.hpp"
 #include "synth/synth.hpp"
 
@@ -28,19 +30,31 @@ CryoSocFlow::CryoSocFlow(FlowConfig config) : config_(std::move(config)) {
 
 void CryoSocFlow::ensure_devices() {
   if (nmos_) return;
+  if (config_.nmos_override || config_.pmos_override) {
+    if (!config_.nmos_override || !config_.pmos_override)
+      throw std::invalid_argument(
+          "FlowConfig: override both modelcards or neither");
+    nmos_ = *config_.nmos_override;
+    pmos_ = *config_.pmos_override;
+    return;
+  }
   if (!config_.calibrate_devices) {
     nmos_ = device::golden_nmos();
     pmos_ = device::golden_pmos();
     return;
   }
-  calib::SiliconOracle oracle_n(device::Polarity::kNmos, config_.seed);
-  auto campaign_n = calib::run_campaign(oracle_n, config_.vdd + 0.05);
-  report_n_ = calib::extract(campaign_n, device::Polarity::kNmos);
-  nmos_ = report_n_->card;
-  calib::SiliconOracle oracle_p(device::Polarity::kPmos, config_.seed + 1);
-  auto campaign_p = calib::run_campaign(oracle_p, config_.vdd + 0.05);
-  report_p_ = calib::extract(campaign_p, device::Polarity::kPmos);
-  pmos_ = report_p_->card;
+  // The two polarities are independent measurement + extraction campaigns
+  // (each oracle owns its RNG stream, seeded per polarity); run them
+  // concurrently.
+  exec::parallel_for(2, [&](std::size_t i) {
+    const auto polarity =
+        i == 0 ? device::Polarity::kNmos : device::Polarity::kPmos;
+    calib::SiliconOracle oracle(polarity, config_.seed + i);
+    auto campaign = calib::run_campaign(oracle, config_.vdd + 0.05);
+    auto& report = i == 0 ? report_n_ : report_p_;
+    report = calib::extract(campaign, polarity);
+    (i == 0 ? nmos_ : pmos_) = report->card;
+  });
 }
 
 const device::ModelCard& CryoSocFlow::nmos() {
@@ -67,22 +81,28 @@ const charlib::Library& CryoSocFlow::library(double temperature) {
   if (slot) return *slot;
   const std::string name =
       temperature < 100.0 ? "cryo5_10k" : "cryo5_300k";
+  const double temp = temperature < 100.0 ? 10.0 : 300.0;
   const fs::path path = fs::path(config_.lib_dir) / (name + ".lib");
-  std::error_code ec;
-  if (fs::exists(path, ec)) {
+
+  ensure_devices();
+  const ArtifactKey key = library_artifact_key(
+      *nmos_, *pmos_, config_.catalog, config_.vdd, temp);
+  if (artifact_fresh(path.string(), key)) {
     slot = liberty::read_file(path.string());
     return *slot;
   }
-  ensure_devices();
+
   charlib::CharOptions options;
-  options.temperature = temperature < 100.0 ? 10.0 : 300.0;
+  options.temperature = temp;
   options.vdd = config_.vdd;
   charlib::Characterizer characterizer(*nmos_, *pmos_, options);
   const auto defs = cells::standard_cells(config_.catalog);
   slot = characterizer.characterize_all(defs, name);
+  std::error_code ec;
   fs::create_directories(config_.lib_dir, ec);
   try {
     liberty::write_file(*slot, path.string());
+    liberty::write_manifest(path.string(), key.manifest());
   } catch (const std::exception&) {
     // Cache write failure is non-fatal (read-only checkout).
   }

@@ -35,6 +35,11 @@ struct FlowConfig {
   // When true (default) calibrate the modelcards from the synthetic
   // silicon oracle; when false use the golden cards directly (fast tests).
   bool calibrate_devices = true;
+  // Explicit modelcards: when set they win over both calibration and the
+  // golden cards (e.g. injecting externally extracted cards, or perturbing
+  // a parameter to probe the artifact cache).
+  std::optional<device::ModelCard> nmos_override;
+  std::optional<device::ModelCard> pmos_override;
   std::uint64_t seed = 42;
 };
 
@@ -50,8 +55,11 @@ class CryoSocFlow {
   const device::ModelCard& pmos();
   const calib::ExtractionReport& extraction_report(device::Polarity p);
 
-  // Characterized library at `temperature` (300 or 10 K), loaded from the
-  // Liberty cache when available.
+  // Characterized library at `temperature` (300 or 10 K). Loaded from the
+  // Liberty artifact store when a cached .lib carries a sidecar manifest
+  // whose fingerprint matches the current configuration (modelcards,
+  // catalog, vdd, temperature, characterizer version); otherwise
+  // re-characterized and the artifact + manifest rewritten.
   const charlib::Library& library(double temperature);
 
   // The synthesized SoC netlist (built and optimized with the 300 K

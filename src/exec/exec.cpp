@@ -1,0 +1,185 @@
+#include "exec/exec.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <limits>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cryo::exec {
+namespace {
+
+thread_local bool t_inside_region = false;
+
+// One parallel_for invocation: an index range claimed task-by-task from an
+// atomic counter (no work stealing; tasks here are milliseconds-sized
+// SPICE jobs, so a shared counter is contention-free in practice).
+struct Batch {
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::size_t n = 0;
+  unsigned max_workers = 0;  // pool workers allowed to join (caller extra)
+  unsigned joined = 0;       // guarded by the pool mutex
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> cancelled{false};
+  std::mutex err_mutex;
+  std::size_t err_index = std::numeric_limits<std::size_t>::max();
+  std::exception_ptr err;
+};
+
+void run_tasks(Batch& b) {
+  const bool prev = t_inside_region;
+  t_inside_region = true;
+  while (!b.cancelled.load(std::memory_order_relaxed)) {
+    const std::size_t i = b.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= b.n) break;
+    try {
+      (*b.fn)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(b.err_mutex);
+      if (i < b.err_index) {
+        b.err_index = i;
+        b.err = std::current_exception();
+      }
+      b.cancelled.store(true, std::memory_order_relaxed);
+    }
+  }
+  t_inside_region = prev;
+}
+
+// Persistent worker pool. Sized once to the hardware; per-region thread
+// counts below that only let a subset of workers join the batch. One batch
+// runs at a time; concurrent top-level parallel_for calls serialize.
+class Pool {
+ public:
+  static Pool& instance() {
+    static Pool pool;
+    return pool;
+  }
+
+  void run(Batch& batch) {
+    std::lock_guard<std::mutex> serialize(run_mutex_);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      batch_ = &batch;
+      ++generation_;
+    }
+    cv_.notify_all();
+    run_tasks(batch);  // the caller is always a participant
+    std::unique_lock<std::mutex> lock(mutex_);
+    batch_ = nullptr;  // no further workers may join
+    done_cv_.wait(lock, [&] { return active_workers_ == 0; });
+  }
+
+ private:
+  Pool() {
+    // Sized to the hardware but never below 16: idle workers cost nothing,
+    // and an explicit CRYOSOC_THREADS / threads request above the core
+    // count (determinism tests, oversubscription experiments) must still
+    // reach real concurrency on small machines. Regions never use more
+    // workers than requested, so the default path stays at one thread per
+    // core.
+    const unsigned hw =
+        std::max(16u, std::max(1u, std::thread::hardware_concurrency()));
+    for (unsigned i = 0; i + 1 < hw; ++i)
+      workers_.emplace_back([this] { worker(); });
+  }
+
+  ~Pool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      shutdown_ = true;
+    }
+    cv_.notify_all();
+    for (auto& t : workers_) t.join();
+  }
+
+  void worker() {
+    std::uint64_t seen = 0;
+    while (true) {
+      Batch* batch = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [&] {
+          return shutdown_ || (batch_ != nullptr && generation_ != seen);
+        });
+        if (shutdown_) return;
+        seen = generation_;
+        batch = batch_;
+        if (batch->joined >= batch->max_workers) continue;
+        ++batch->joined;
+        ++active_workers_;
+      }
+      run_tasks(*batch);
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        --active_workers_;
+      }
+      done_cv_.notify_all();
+    }
+  }
+
+  std::mutex run_mutex_;  // serializes whole batches
+  std::mutex mutex_;      // guards the fields below
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  Batch* batch_ = nullptr;
+  std::uint64_t generation_ = 0;
+  unsigned active_workers_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace
+
+unsigned thread_count(int requested) {
+  if (requested > 0) return static_cast<unsigned>(requested);
+  if (const char* env = std::getenv("CRYOSOC_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 0)
+      return v <= 1 ? 1u : static_cast<unsigned>(v);
+  }
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+std::uint64_t task_seed(std::uint64_t base, std::uint64_t index) {
+  // splitmix64 of base advanced by (index + 1) golden-ratio increments.
+  std::uint64_t z = base + 0x9e3779b97f4a7c15ULL * (index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+bool inside_parallel_region() { return t_inside_region; }
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  int threads) {
+  if (n == 0) return;
+  const unsigned want = thread_count(threads);
+  if (want <= 1 || n == 1 || t_inside_region) {
+    // Serial / nested fallback: plain loop on the calling thread. The
+    // first exception aborts the remainder, matching the cancellation
+    // semantics of the parallel path.
+    const bool prev = t_inside_region;
+    t_inside_region = true;
+    try {
+      for (std::size_t i = 0; i < n; ++i) fn(i);
+    } catch (...) {
+      t_inside_region = prev;
+      throw;
+    }
+    t_inside_region = prev;
+    return;
+  }
+  Batch batch;
+  batch.fn = &fn;
+  batch.n = n;
+  batch.max_workers =
+      static_cast<unsigned>(std::min<std::size_t>(want - 1, n - 1));
+  Pool::instance().run(batch);
+  if (batch.err) std::rethrow_exception(batch.err);
+}
+
+}  // namespace cryo::exec

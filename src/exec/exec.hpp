@@ -1,0 +1,63 @@
+// Shared parallel execution layer for the cryosoc stack.
+//
+// Every embarrassingly parallel hot path (library characterization,
+// calibration campaigns and LM fits, bench sweeps and Monte Carlo loops)
+// funnels through this module instead of hand-rolled threads:
+//
+//   exec::parallel_for(n, [&](std::size_t i) { work(i); });
+//   auto out = exec::parallel_map<T>(n, [&](std::size_t i) { return f(i); });
+//
+// Guarantees:
+//  - Results are index-addressed, so merged output is independent of the
+//    thread count and of task/thread assignment (byte-identical artifacts
+//    at 1 vs N threads).
+//  - Exceptions thrown by tasks propagate to the caller: the pending tasks
+//    are cancelled and the exception of the lowest failing task index is
+//    rethrown, again independent of scheduling.
+//  - Nested parallel_for calls from inside a worker run inline (serially)
+//    instead of deadlocking or oversubscribing the machine.
+//  - Stochastic tasks derive their RNG stream from task_seed(base, index),
+//    never from the executing thread, keeping draws deterministic.
+//
+// Thread-count policy (first match wins):
+//  1. an explicit `threads > 0` argument,
+//  2. the CRYOSOC_THREADS environment variable (0 or 1 = serial),
+//  3. std::thread::hardware_concurrency().
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace cryo::exec {
+
+// Resolved number of threads a parallel region would use (>= 1).
+// `requested` > 0 forces that count; <= 0 defers to CRYOSOC_THREADS, then
+// hardware concurrency. The environment is re-read on every call so tests
+// can setenv() around a region.
+unsigned thread_count(int requested = 0);
+
+// Deterministic per-task RNG seed: a splitmix64 mix of the base seed and
+// the task index. Adjacent indices give statistically independent streams.
+std::uint64_t task_seed(std::uint64_t base, std::uint64_t index);
+
+// Runs fn(i) for every i in [0, n) on up to thread_count(threads) threads
+// (the calling thread participates). Blocks until all tasks finished or
+// the batch was cancelled by a throwing task.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  int threads = 0);
+
+// parallel_for that collects fn(i) into a vector in input order.
+template <typename R, typename Fn>
+std::vector<R> parallel_map(std::size_t n, Fn&& fn, int threads = 0) {
+  std::vector<R> out(n);
+  parallel_for(
+      n, [&](std::size_t i) { out[i] = fn(i); }, threads);
+  return out;
+}
+
+// True while the calling thread is executing a parallel_for task; nested
+// regions observe this and degrade to inline execution.
+bool inside_parallel_region();
+
+}  // namespace cryo::exec

@@ -17,7 +17,11 @@
 // reader rebuilds cell functions from the catalog by base name).
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "charlib/library.hpp"
 
@@ -35,5 +39,35 @@ charlib::Library parse(const std::string& text);
 
 // Reads and parses a Liberty file.
 charlib::Library read_file(const std::string& path);
+
+// ---- Artifact manifest sidecars ----------------------------------------
+//
+// A characterized .lib artifact carries a sidecar manifest
+// (`<path>.manifest`) recording a fingerprint of every input that
+// determined its content. Consumers (core::CryoSocFlow) reuse the artifact
+// only when the fingerprint matches the current configuration; a stale or
+// absent manifest forces re-characterization. Format (line-oriented text):
+//
+//   cryosoc-liberty-manifest v1
+//   fingerprint <16 hex digits>
+//   field <key> <value>
+//   ...
+//
+// The `field` lines are informational (they let a human see *which* input
+// moved); matching is on the fingerprint alone.
+struct Manifest {
+  std::uint64_t fingerprint = 0;
+  std::vector<std::pair<std::string, std::string>> fields;
+};
+
+// Sidecar path of a Liberty artifact: `<lib_path>.manifest`.
+std::string manifest_path(const std::string& lib_path);
+
+// Writes the sidecar next to `lib_path`; throws on I/O failure.
+void write_manifest(const std::string& lib_path, const Manifest& manifest);
+
+// Reads the sidecar of `lib_path`; nullopt when missing or malformed
+// (both mean "do not trust the artifact").
+std::optional<Manifest> read_manifest(const std::string& lib_path);
 
 }  // namespace cryo::liberty

@@ -58,6 +58,7 @@ Trace TranResult::source_current(const std::string& name) const {
 
 void TranResult::append(double t, const std::vector<double>& x,
                         std::size_t n_nodes) {
+  final_state_ = x;
   if (node_values_.empty()) {
     node_values_.resize(node_names_.size());
     source_values_.resize(source_names_.size());
@@ -204,6 +205,16 @@ std::vector<double> Engine::dc_operating_point(double t) {
       throw std::runtime_error("dc_operating_point: gmin stepping failed");
   }
   return x;
+}
+
+std::vector<double> Engine::dc_operating_point_from(std::vector<double> x0,
+                                                    double t) {
+  TranOptions options;
+  std::vector<CapState> caps;  // unused in DC
+  if (x0.size() == dim_ &&
+      solve_nonlinear(x0, t, false, 0.0, caps, 1e-12, options))
+    return x0;
+  return dc_operating_point(t);
 }
 
 TranResult Engine::transient(const TranOptions& options) {

@@ -41,6 +41,10 @@ class TranResult {
 
   std::size_t sample_count() const { return time_.size(); }
 
+  // Full solution vector (node voltages then source branch currents) at
+  // the last accepted timestep; usable as a warm start for a DC solve.
+  const std::vector<double>& final_state() const { return final_state_; }
+
   // Engine-internal appenders.
   void append(double t, const std::vector<double>& x, std::size_t n_nodes);
 
@@ -48,6 +52,7 @@ class TranResult {
   std::vector<std::string> node_names_;
   std::vector<std::string> source_names_;
   std::vector<double> time_;
+  std::vector<double> final_state_;
   // Column-major storage: one vector per signal.
   std::vector<std::vector<double>> node_values_;
   std::vector<std::vector<double>> source_values_;
@@ -61,6 +66,14 @@ class Engine {
   // Falls back to gmin stepping on convergence failure; throws
   // std::runtime_error if even that fails.
   std::vector<double> dc_operating_point(double t = 0.0);
+
+  // DC operating point solved from an explicit initial state (e.g. a
+  // transient's final_state()). Circuits with multiple stable states —
+  // keeper loops in sequential cells — converge to the solution *near*
+  // the warm start rather than the metastable point a cold solve can
+  // settle at. Falls back to the cold solve if NR diverges.
+  std::vector<double> dc_operating_point_from(std::vector<double> x0,
+                                              double t);
 
   // Adaptive-step trapezoidal transient starting from the DC operating
   // point at t = 0.

@@ -2,6 +2,7 @@
 
 #include "charlib/characterizer.hpp"
 #include "device/modelcard.hpp"
+#include "liberty/liberty.hpp"
 
 namespace cryo::charlib {
 namespace {
@@ -153,6 +154,31 @@ TEST(Characterizer, LibraryMetadata) {
   // SLVT leaks more than LVT (lower threshold).
   EXPECT_GT(lib.at("INV_X1_SLVT").leakage_avg,
             lib.at("INV_X1").leakage_avg);
+}
+
+TEST(Characterizer, ParallelLibraryIsByteIdenticalToSerial) {
+  // The tentpole guarantee of the exec refactor: characterize_all merges
+  // per-cell results in input order, so the rendered Liberty text must not
+  // depend on the thread count.
+  CharOptions opt;
+  opt.temperature = 300.0;
+  opt.slews = {2e-12, 8e-12};
+  opt.loads = {1e-15, 4e-15};
+  opt.characterize_setup_hold = false;
+  cells::CatalogOptions copt;
+  copt.only_bases = {"INV", "NAND2", "NOR2"};
+  copt.drives = {1, 2};
+  copt.extra_drives_common = {};
+  const auto defs = cells::standard_cells(copt);
+
+  const auto render = [&](int threads) {
+    CharOptions o = opt;
+    o.threads = threads;
+    Characterizer ch(device::golden_nmos(), device::golden_pmos(), o);
+    return liberty::write(ch.characterize_all(defs, "mini"));
+  };
+  const std::string serial = render(1);
+  EXPECT_EQ(serial, render(4));
 }
 
 }  // namespace

@@ -1,0 +1,200 @@
+// Tests of the shared cryo::exec scheduler: the thread-count policy
+// (explicit request > CRYOSOC_THREADS > hardware), index-ordered
+// deterministic results at any thread count, lowest-index exception
+// propagation with batch cancellation, nested-region serial fallback, and
+// the per-task RNG seeding helper.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "exec/exec.hpp"
+
+namespace cryo::exec {
+namespace {
+
+// Scoped CRYOSOC_THREADS override; restores the previous value on exit.
+class EnvGuard {
+ public:
+  explicit EnvGuard(const char* value) {
+    if (const char* old = std::getenv("CRYOSOC_THREADS")) {
+      had_ = true;
+      saved_ = old;
+    }
+    if (value)
+      setenv("CRYOSOC_THREADS", value, 1);
+    else
+      unsetenv("CRYOSOC_THREADS");
+  }
+  ~EnvGuard() {
+    if (had_)
+      setenv("CRYOSOC_THREADS", saved_.c_str(), 1);
+    else
+      unsetenv("CRYOSOC_THREADS");
+  }
+
+ private:
+  bool had_ = false;
+  std::string saved_;
+};
+
+TEST(ThreadCount, ExplicitRequestWinsOverEnv) {
+  EnvGuard env("2");
+  EXPECT_EQ(thread_count(5), 5u);
+  EXPECT_EQ(thread_count(1), 1u);
+}
+
+TEST(ThreadCount, EnvOverride) {
+  {
+    EnvGuard env("6");
+    EXPECT_EQ(thread_count(), 6u);
+  }
+  {
+    EnvGuard env("0");  // 0 and 1 both mean serial
+    EXPECT_EQ(thread_count(), 1u);
+  }
+  {
+    EnvGuard env("1");
+    EXPECT_EQ(thread_count(), 1u);
+  }
+  {
+    EnvGuard env("junk");  // malformed: fall back to the hardware
+    EXPECT_GE(thread_count(), 1u);
+  }
+  {
+    EnvGuard env(nullptr);
+    EXPECT_GE(thread_count(), 1u);
+  }
+}
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  EnvGuard env("8");
+  constexpr std::size_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(n, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelFor, EmptyRangeIsANoop) {
+  EnvGuard env("8");
+  parallel_for(0, [](std::size_t) { FAIL() << "must not run"; });
+  EXPECT_TRUE(parallel_map<int>(0, [](std::size_t) { return 1; }).empty());
+}
+
+TEST(ParallelFor, SerialOverrideRunsOnCallingThread) {
+  EnvGuard env("0");
+  const auto self = std::this_thread::get_id();
+  parallel_for(32, [&](std::size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), self);
+  });
+}
+
+TEST(ParallelMap, OrderedAndIdenticalAtAnyThreadCount) {
+  constexpr std::size_t n = 257;
+  const auto run = [&](int threads) {
+    return parallel_map<double>(
+        n,
+        [](std::size_t i) {
+          Rng rng(task_seed(7, i));
+          return static_cast<double>(i) + rng.uniform();
+        },
+        threads);
+  };
+  const auto serial = run(1);
+  ASSERT_EQ(serial.size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_GE(serial[i], static_cast<double>(i));
+    EXPECT_LT(serial[i], static_cast<double>(i) + 1.0);
+  }
+  // Bit-identical regardless of how many threads computed the entries:
+  // results are index-addressed and every RNG stream is seeded by the
+  // task index, never the executing thread.
+  EXPECT_EQ(serial, run(4));
+  EXPECT_EQ(serial, run(13));
+}
+
+TEST(ParallelFor, PropagatesExceptionAndPoolSurvives) {
+  EnvGuard env("8");
+  try {
+    parallel_for(100, [](std::size_t i) {
+      if (i == 37) throw std::runtime_error("task 37");
+    });
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task 37");
+  }
+  // The pool must stay usable after a cancelled batch.
+  std::atomic<std::size_t> sum{0};
+  parallel_for(10, [&](std::size_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 45u);
+}
+
+TEST(ParallelFor, LowestThrowingIndexWins) {
+  EnvGuard env("4");
+  // Every task throws. Index 0 is always the first claim off the shared
+  // counter and executes even if a later index cancels the batch first,
+  // so the propagated exception is deterministically task 0's.
+  try {
+    parallel_for(64, [](std::size_t i) {
+      throw std::runtime_error(std::to_string(i));
+    });
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "0");
+  }
+}
+
+TEST(ParallelFor, SerialPathPropagatesToo) {
+  EnvGuard env("0");
+  std::size_t ran = 0;
+  EXPECT_THROW(parallel_for(10,
+                            [&](std::size_t i) {
+                              ++ran;
+                              if (i == 3) throw std::invalid_argument("x");
+                            }),
+               std::invalid_argument);
+  EXPECT_EQ(ran, 4u);  // aborts after the throwing task
+  EXPECT_FALSE(inside_parallel_region());
+}
+
+TEST(ParallelFor, NestedRegionsRunInline) {
+  EnvGuard env("8");
+  EXPECT_FALSE(inside_parallel_region());
+  constexpr std::size_t n = 16;
+  std::vector<double> out(n);
+  parallel_for(n, [&](std::size_t i) {
+    EXPECT_TRUE(inside_parallel_region());
+    // A nested parallel_for must neither deadlock on the pool nor spawn
+    // extra concurrency: it runs inline on this task's thread.
+    std::vector<std::size_t> inner(8);
+    parallel_for(8, [&](std::size_t j) {
+      EXPECT_TRUE(inside_parallel_region());
+      inner[j] = j * j;
+    });
+    double s = 0.0;
+    for (const auto v : inner) s += static_cast<double>(v);
+    out[i] = s + static_cast<double>(i);
+  });
+  EXPECT_FALSE(inside_parallel_region());
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_DOUBLE_EQ(out[i], 140.0 + static_cast<double>(i));
+}
+
+TEST(TaskSeed, DeterministicAndCollisionFree) {
+  EXPECT_EQ(task_seed(1, 2), task_seed(1, 2));
+  EXPECT_NE(task_seed(1, 2), task_seed(1, 3));
+  EXPECT_NE(task_seed(1, 2), task_seed(2, 2));
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t base = 0; base < 8; ++base)
+    for (std::uint64_t i = 0; i < 1024; ++i) seen.insert(task_seed(base, i));
+  EXPECT_EQ(seen.size(), 8u * 1024u);
+}
+
+}  // namespace
+}  // namespace cryo::exec

@@ -3,9 +3,14 @@
 // back to characterizing the full catalog, which is slow but correct.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+
 #include "classify/kernels.hpp"
 #include "common/units.hpp"
+#include "core/artifacts.hpp"
 #include "core/flow.hpp"
+#include "liberty/liberty.hpp"
 
 namespace cryo::core {
 namespace {
@@ -122,6 +127,131 @@ TEST(Flow, DefaultLibDirFindsArtifacts) {
   // In-tree test runs should locate lib/ via the marker file.
   const std::string dir = default_lib_dir();
   EXPECT_FALSE(dir.empty());
+}
+
+TEST(Flow, RejectsSingleModelcardOverride) {
+  FlowConfig config;
+  config.nmos_override = device::golden_nmos();
+  CryoSocFlow f(config);
+  EXPECT_THROW(f.nmos(), std::invalid_argument);
+}
+
+TEST(ArtifactStore, FingerprintTracksEveryInput) {
+  const auto n = device::golden_nmos();
+  const auto p = device::golden_pmos();
+  const cells::CatalogOptions cat;
+  const auto base = library_artifact_key(n, p, cat, 0.7, 300.0);
+  // Deterministic for identical inputs.
+  EXPECT_EQ(base.fingerprint,
+            library_artifact_key(n, p, cat, 0.7, 300.0).fingerprint);
+  EXPECT_FALSE(base.fields.empty());
+  EXPECT_EQ(base.manifest().fingerprint, base.fingerprint);
+
+  // Any single input moving must move the fingerprint.
+  auto n2 = n;
+  n2.VTH0 += 1e-6;
+  EXPECT_NE(library_artifact_key(n2, p, cat, 0.7, 300.0).fingerprint,
+            base.fingerprint);
+  auto p2 = p;
+  p2.U0 *= 1.0001;
+  EXPECT_NE(library_artifact_key(n, p2, cat, 0.7, 300.0).fingerprint,
+            base.fingerprint);
+  cells::CatalogOptions cat2 = cat;
+  cat2.drives = {1};
+  EXPECT_NE(library_artifact_key(n, p, cat2, 0.7, 300.0).fingerprint,
+            base.fingerprint);
+  cells::CatalogOptions cat3 = cat;
+  cat3.include_slvt = false;
+  EXPECT_NE(library_artifact_key(n, p, cat3, 0.7, 300.0).fingerprint,
+            base.fingerprint);
+  EXPECT_NE(library_artifact_key(n, p, cat, 0.8, 300.0).fingerprint,
+            base.fingerprint);
+  EXPECT_NE(library_artifact_key(n, p, cat, 0.7, 10.0).fingerprint,
+            base.fingerprint);
+  EXPECT_NE(
+      library_artifact_key(n, p, cat, 0.7, 300.0, "charlib-v999").fingerprint,
+      base.fingerprint);
+}
+
+TEST(ArtifactStore, FreshnessRequiresFileAndMatchingManifest) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::path(::testing::TempDir()) / "cryosoc_manifest";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string lib_path = (dir / "x.lib").string();
+  const auto key = library_artifact_key(device::golden_nmos(),
+                                        device::golden_pmos(), {}, 0.7, 300.0);
+
+  EXPECT_FALSE(artifact_fresh(lib_path, key));  // no file
+  std::ofstream(lib_path) << "placeholder";
+  EXPECT_FALSE(artifact_fresh(lib_path, key));  // no manifest
+  liberty::write_manifest(lib_path, key.manifest());
+  EXPECT_TRUE(artifact_fresh(lib_path, key));
+  const auto round = liberty::read_manifest(lib_path);
+  ASSERT_TRUE(round.has_value());
+  EXPECT_EQ(round->fingerprint, key.fingerprint);
+  EXPECT_EQ(round->fields, key.manifest().fields);
+
+  auto other = key;
+  other.fingerprint ^= 1;
+  EXPECT_FALSE(artifact_fresh(lib_path, other));  // mismatched fingerprint
+  std::ofstream(liberty::manifest_path(lib_path)) << "garbage\n";
+  EXPECT_FALSE(artifact_fresh(lib_path, key));  // malformed manifest
+  fs::remove_all(dir);
+}
+
+TEST(ArtifactStore, ReusesFreshAndRegeneratesStale) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::path(::testing::TempDir()) / "cryosoc_store";
+  fs::remove_all(dir);
+
+  FlowConfig config;
+  config.calibrate_devices = false;
+  config.lib_dir = dir.string();
+  config.catalog.only_bases = {"INV"};
+  config.catalog.drives = {1};
+  config.catalog.extra_drives_common = {};
+  config.catalog.include_slvt = false;
+
+  // Cold store: characterizes and writes the artifact plus its manifest.
+  CryoSocFlow first(config);
+  EXPECT_EQ(first.library(300.0).name, "cryo5_300k");
+  const fs::path lib_path = dir / "cryo5_300k.lib";
+  ASSERT_TRUE(fs::exists(lib_path));
+  const auto manifest = liberty::read_manifest(lib_path.string());
+  ASSERT_TRUE(manifest.has_value());
+
+  // Poke the artifact (rename the library inside the file). A fresh flow
+  // with an unchanged config must load the edited file as-is — proof the
+  // store was trusted and no SPICE re-characterization ran.
+  auto poked = liberty::read_file(lib_path.string());
+  poked.name = "poked";
+  liberty::write_file(poked, lib_path.string());
+  CryoSocFlow second(config);
+  EXPECT_EQ(second.library(300.0).name, "poked");
+
+  // Perturb a fingerprint input (NMOS threshold): the manifest no longer
+  // matches, so the library is re-characterized and the artifact rewritten
+  // under its canonical name with an updated manifest.
+  FlowConfig shifted = config;
+  auto n = device::golden_nmos();
+  n.VTH0 += 5e-3;
+  shifted.nmos_override = n;
+  shifted.pmos_override = device::golden_pmos();
+  CryoSocFlow third(shifted);
+  EXPECT_EQ(third.library(300.0).name, "cryo5_300k");
+  const auto manifest2 = liberty::read_manifest(lib_path.string());
+  ASSERT_TRUE(manifest2.has_value());
+  EXPECT_NE(manifest2->fingerprint, manifest->fingerprint);
+
+  // A missing manifest also invalidates: the poke is overwritten again.
+  auto poked2 = liberty::read_file(lib_path.string());
+  poked2.name = "poked2";
+  liberty::write_file(poked2, lib_path.string());
+  fs::remove(liberty::manifest_path(lib_path.string()));
+  CryoSocFlow fourth(shifted);
+  EXPECT_EQ(fourth.library(300.0).name, "cryo5_300k");
+  fs::remove_all(dir);
 }
 
 }  // namespace
