@@ -14,6 +14,7 @@ int main() {
   using namespace cryo;
   bench::header("ablation_burst: burst-mode power on the 10 K stage",
                 "paper Sec. VII (power-management discussion)");
+  auto report = bench::make_report("ablation_burst");
 
   thermal::StageModel stage;
   std::printf("\nstage: base %.1f K, limit %.1f K, cooling %.0f mW, "
@@ -26,6 +27,10 @@ int main() {
               stage.max_continuous_power() * 1e3);
 
   const double idle_power = 2e-3;  // clock-gated SoC at 10 K
+  report.results()["max_continuous_power_mw"] =
+      stage.max_continuous_power() * 1e3;
+  report.results()["time_constant_ms"] = stage.time_constant() * 1e3;
+  auto& sweep = report.results()["sweep"];
   std::printf("\n%12s %12s | %16s | %14s | %10s\n", "burst [ms]",
               "idle [ms]", "max burst [mW]", "avg power [mW]", "peak [K]");
   for (const double burst_ms : {0.5, 1.0, 2.0, 5.0, 10.0}) {
@@ -37,6 +42,13 @@ int main() {
       const auto trace = stage.simulate(s, 50);
       std::printf("%12.1f %12.1f | %16.1f | %14.1f | %10.3f\n", burst_ms,
                   idle_ms, p * 1e3, s.average_power() * 1e3, trace.peak);
+      auto row = obs::Json::object();
+      row["burst_ms"] = burst_ms;
+      row["idle_ms"] = idle_ms;
+      row["max_burst_mw"] = p * 1e3;
+      row["avg_power_mw"] = s.average_power() * 1e3;
+      row["peak_k"] = trace.peak;
+      sweep.push_back(std::move(row));
     }
   }
   std::printf(

@@ -10,12 +10,14 @@ int main() {
   using namespace cryo;
   bench::header("ablation_cache: L1D/L2 size vs kNN cycles",
                 "paper Table 2 footnote (cache-miss sensitivity)");
+  auto report = bench::make_report("ablation_cache");
 
   struct Config {
     const char* name;
     int l1_kb;
     int l2_kb;
   };
+  auto& sweep = report.results()["sweep"];
   std::printf("\n%-18s | %14s %14s %14s\n", "cache config", "20 qubits",
               "400 qubits", "1600 qubits");
   for (const Config cfg : {Config{"L1 4KB / L2 128KB", 4, 128},
@@ -33,6 +35,12 @@ int main() {
       riscv::Cpu cpu(cc);
       const auto stats = classify::run_knn_kernel(cpu, knn, ms);
       std::printf(" %10.1f cyc", stats.cycles_per_classification);
+      auto row = obs::Json::object();
+      row["l1_kb"] = cfg.l1_kb;
+      row["l2_kb"] = cfg.l2_kb;
+      row["qubits"] = qubits;
+      row["knn_cycles_per_class"] = stats.cycles_per_classification;
+      sweep.push_back(std::move(row));
     }
     std::printf("\n");
   }

@@ -12,6 +12,7 @@ int main() {
   using namespace cryo;
   bench::header("ablation_fpga: SRAM-based FPGA classification fabric",
                 "paper Sec. VII (FPGA fabric proposal)");
+  auto report = bench::make_report("ablation_fpga");
 
   // Software baseline from the ISS (Table 2 conditions, 400 qubits).
   qubit::ReadoutModel model(400, 777);
@@ -57,6 +58,12 @@ int main() {
   std::printf("  kNN: fabric %.1f M/s vs software %.1f M/s  -> %.0fx\n",
               knn_acc.throughput / 1e6, sw_knn_rate / 1e6,
               knn_acc.throughput / sw_knn_rate);
+  report.results()["hdc_fabric_mps"] = hdc_acc.throughput / 1e6;
+  report.results()["hdc_software_mps"] = sw_hdc_rate / 1e6;
+  report.results()["hdc_speedup"] = hdc_acc.throughput / sw_hdc_rate;
+  report.results()["knn_fabric_mps"] = knn_acc.throughput / 1e6;
+  report.results()["knn_software_mps"] = sw_knn_rate / 1e6;
+  report.results()["knn_speedup"] = knn_acc.throughput / sw_knn_rate;
   std::printf(
       "\nthe fabric's configuration SRAM leaks milliwatts at 300 K but is\n"
       "negligible at 10 K — the asymmetry behind the paper's proposal:\n"

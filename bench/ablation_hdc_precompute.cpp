@@ -10,6 +10,8 @@ int main() {
   using namespace cryo;
   bench::header("ablation_hdc_precompute: Eq. 4 table optimization",
                 "paper Sec. V-B Eq. 4");
+  auto report = bench::make_report("ablation_hdc_precompute");
+  auto& sweep = report.results()["sweep"];
 
   std::printf("\n%8s | %16s %16s | %10s | %12s\n", "qubits",
               "precomputed [cyc]", "naive [cyc]", "delta", "extra mem");
@@ -33,6 +35,12 @@ int main() {
                              naive.cycles_per_classification -
                          1.0),
                 extra_kb);
+    auto row = obs::Json::object();
+    row["qubits"] = qubits;
+    row["precomputed_cycles"] = pre.cycles_per_classification;
+    row["naive_cycles"] = naive.cycles_per_classification;
+    row["extra_kb"] = extra_kb;
+    sweep.push_back(std::move(row));
   }
   std::printf(
       "\nthe table removes one XOR pair per class but grows the working\n"

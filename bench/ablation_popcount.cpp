@@ -11,6 +11,8 @@ int main() {
   using namespace cryo;
   bench::header("ablation_popcount: HDC with/without Zbb cpop",
                 "paper Sec. VI-C (hardware-popcount hypothesis)");
+  auto report = bench::make_report("ablation_popcount");
+  auto& sweep = report.results()["sweep"];
 
   std::printf("\n%8s | %18s %18s | %8s\n", "qubits", "emulated [cyc]",
               "cpop [cyc]", "speedup");
@@ -31,6 +33,13 @@ int main() {
     std::printf("%8d | %18.1f %18.1f | %7.2fx\n", qubits,
                 s.cycles_per_classification, h.cycles_per_classification,
                 s.cycles_per_classification / h.cycles_per_classification);
+    auto row = obs::Json::object();
+    row["qubits"] = qubits;
+    row["emulated_cycles"] = s.cycles_per_classification;
+    row["cpop_cycles"] = h.cycles_per_classification;
+    row["speedup"] =
+        s.cycles_per_classification / h.cycles_per_classification;
+    sweep.push_back(std::move(row));
   }
   std::printf("\ninstruction counts: emulated %d vs cpop %d per "
               "classification\n",

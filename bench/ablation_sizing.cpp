@@ -12,6 +12,8 @@ int main() {
   using namespace cryo;
   bench::header("ablation_sizing: synthesis effort vs critical path",
                 "paper Sec. V-A (synthesis step of the flow)");
+  auto bench_report = bench::make_report("ablation_sizing");
+  auto& sweep = bench_report.results()["sweep"];
 
   const auto& lib300 = bench::flow().library(300.0);
   const auto sm = bench::flow().sram_model(300.0);
@@ -39,6 +41,13 @@ int main() {
     std::printf("%-26s | %12.3f | %10.0f | %10zu | %8zu\n", cfg.name,
                 timing.critical_delay * 1e9, timing.fmax / 1e6,
                 soc.gates().size(), report.buffers_inserted);
+    auto row = obs::Json::object();
+    row["configuration"] = cfg.name;
+    row["critical_delay_ns"] = timing.critical_delay * 1e9;
+    row["fmax_mhz"] = timing.fmax / 1e6;
+    row["gates"] = soc.gates().size();
+    row["buffers_inserted"] = report.buffers_inserted;
+    sweep.push_back(std::move(row));
   }
   std::printf("\nwithout buffering the register-file address fanout\n"
               "dominates the clock period by an order of magnitude —\n"

@@ -11,6 +11,8 @@ int main() {
   using namespace cryo;
   bench::header("ablation_sqrt: kNN with vs without sqrt",
                 "paper Sec. V-B (Eq. 2 optimization)");
+  auto report = bench::make_report("ablation_sqrt");
+  auto& sweep = report.results()["sweep"];
 
   std::printf("\n%8s | %16s %16s | %10s | %s\n", "qubits", "no sqrt [cyc]",
               "with sqrt [cyc]", "overhead", "labels equal");
@@ -30,6 +32,12 @@ int main() {
                              p.cycles_per_classification -
                          1.0),
                 p.labels == s.labels ? "yes" : "NO (bug!)");
+    auto row = obs::Json::object();
+    row["qubits"] = qubits;
+    row["no_sqrt_cycles"] = p.cycles_per_classification;
+    row["with_sqrt_cycles"] = s.cycles_per_classification;
+    row["labels_equal"] = p.labels == s.labels;
+    sweep.push_back(std::move(row));
   }
   std::printf("\nsqrt is monotone, so the classification decision is\n"
               "unchanged; removing it saves two long-latency FPU ops per\n"

@@ -12,12 +12,14 @@ int main() {
   using namespace cryo;
   bench::header("ablation_sram: leakage vs Vdd and VT class",
                 "paper Sec. VII power-reduction discussion");
+  auto report = bench::make_report("ablation_sram");
 
   const double total_bits = 581.0 * 8192.0;  // the paper's 581 KB
 
   std::printf("\n-- Vdd scaling (SLVT bitcells, 581 KB array) --\n");
   std::printf("%8s | %16s %16s | %18s\n", "Vdd [V]", "300K leak [mW]",
               "10K leak [mW]", "10K access [ps]");
+  auto& vdd_sweep = report.results()["vdd_sweep"];
   for (const double vdd : {0.8, 0.7, 0.6, 0.5}) {
     const sram::SramModel hot(device::golden_nmos(), device::golden_pmos(),
                               300.0, vdd);
@@ -27,11 +29,18 @@ int main() {
                 hot.leakage_per_bit() * total_bits * 1e3,
                 cold.leakage_per_bit() * total_bits * 1e3,
                 cold.timing({512, 64}).access_time * 1e12);
+    auto row = obs::Json::object();
+    row["vdd"] = vdd;
+    row["leak_mw_300k"] = hot.leakage_per_bit() * total_bits * 1e3;
+    row["leak_mw_10k"] = cold.leakage_per_bit() * total_bits * 1e3;
+    row["access_ps_10k"] = cold.timing({512, 64}).access_time * 1e12;
+    vdd_sweep.push_back(std::move(row));
   }
 
   std::printf("\n-- VT class (work-function engineering, Vdd = 0.7 V) --\n");
   std::printf("%12s | %16s %16s\n", "bitcell VT", "300K leak [mW]",
               "10K leak [mW]");
+  auto& vt_sweep = report.results()["vt_sweep"];
   for (const double shift : {0.0, 0.03, 0.06, 0.10}) {
     device::ModelCard n = device::golden_nmos();
     device::ModelCard p = device::golden_pmos();
@@ -44,6 +53,11 @@ int main() {
     std::printf("  +%3.0f mV VT | %16.2f %16.4f\n", shift * 1e3,
                 hot.leakage_per_bit() * total_bits * 1e3,
                 cold.leakage_per_bit() * total_bits * 1e3);
+    auto row = obs::Json::object();
+    row["vt_shift_mv"] = shift * 1e3;
+    row["leak_mw_300k"] = hot.leakage_per_bit() * total_bits * 1e3;
+    row["leak_mw_10k"] = cold.leakage_per_bit() * total_bits * 1e3;
+    vt_sweep.push_back(std::move(row));
   }
   std::printf(
       "\nat 300 K the array only fits the 100 mW budget with strong VT\n"

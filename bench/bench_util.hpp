@@ -8,6 +8,8 @@
 #include <string>
 
 #include "core/flow.hpp"
+#include "exec/exec.hpp"
+#include "obs/report.hpp"
 
 namespace cryo::bench {
 
@@ -16,6 +18,15 @@ inline void header(const std::string& what, const std::string& paper_ref) {
   std::printf("%s\n", what.c_str());
   std::printf("reproduces: %s\n", paper_ref.c_str());
   std::printf("==============================================================\n");
+}
+
+// Standardized machine-readable output: every bench writes
+// bench-out/BENCH_<name>.json (schema cryosoc-bench-v1) on exit. Record
+// headline numbers into `report.results()` as they are printed.
+inline obs::BenchReport make_report(const std::string& name) {
+  obs::BenchReport report(name);
+  report.set_threads(exec::thread_count());
+  return report;
 }
 
 // Shared flow instance (loads the committed Liberty artifacts; golden

@@ -13,6 +13,7 @@ int main() {
   using namespace cryo;
   bench::header("fig2_readout: I/Q-plane readout + decoherence decay",
                 "paper Fig. 2(a)/(b)/(c)");
+  auto report = bench::make_report("fig2_readout");
 
   qubit::ReadoutModel falcon(27, 2022);
   const auto calib_shots = falcon.calibration_shots(200);
@@ -34,10 +35,13 @@ int main() {
                 c.i0, c.q0, c.i1, c.q1, c.sigma,
                 100.0 * static_cast<double>(ok) / static_cast<double>(n));
   }
+  const double knn_accuracy = 100.0 * classify::accuracy(knn, eval_shots);
   std::printf("overall kNN accuracy on %zu labelled shots: %.2f %%\n",
-              eval_shots.size(),
-              100.0 * classify::accuracy(knn, eval_shots));
+              eval_shots.size(), knn_accuracy);
   std::printf("(calibration used %zu shots)\n", calib_shots.size());
+  report.results()["qubits"] = falcon.n_qubits();
+  report.results()["eval_shots"] = eval_shots.size();
+  report.results()["knn_accuracy_percent"] = knn_accuracy;
 
   std::printf("\n-- Fig. 2(b): state fidelity vs wait time (T = 110 us) --\n");
   std::printf("%10s %12s\n", "t [us]", "fidelity");
@@ -52,5 +56,6 @@ int main() {
       "classification of the latest measurements must finish within the\n"
       "decoherence time (%.0f us) to not bottleneck the next computation.\n",
       kFalconDecoherenceTime * 1e6);
+  report.results()["decoherence_budget_us"] = kFalconDecoherenceTime * 1e6;
   return 0;
 }

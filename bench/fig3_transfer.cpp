@@ -13,6 +13,7 @@ int main() {
   using namespace cryo;
   bench::header("fig3_transfer: measured vs calibrated I-V",
                 "paper Fig. 3(a)/(b)");
+  auto bench_report = bench::make_report("fig3_transfer");
 
   for (const auto polarity :
        {device::Polarity::kPmos, device::Polarity::kNmos}) {
@@ -52,9 +53,13 @@ int main() {
     }
     const device::FinFet f300(report.card, 300.0);
     const device::FinFet f10(report.card, 10.0);
-    std::printf(
-        "\nVth rise at 10K: %+.1f %% (paper: +47 %% n / +39 %% p)\n",
-        100.0 * (f10.vth() / f300.vth() - 1.0));
+    const double vth_rise_percent = 100.0 * (f10.vth() / f300.vth() - 1.0);
+    std::printf("\nVth rise at 10K: %+.1f %% (paper: +47 %% n / +39 %% p)\n",
+                vth_rise_percent);
+    auto& entry = bench_report.results()[is_n ? "nmos" : "pmos"];
+    entry["rms_log_error_300k"] = report.rms_log_error_300k;
+    entry["rms_log_error_10k"] = report.rms_log_error_10k;
+    entry["vth_rise_percent_10k"] = vth_rise_percent;
   }
   return 0;
 }

@@ -14,6 +14,7 @@ int main() {
   using namespace cryo;
   bench::header("fig5_delay_hist: library-wide delay histograms",
                 "paper Fig. 5");
+  auto report = bench::make_report("fig5_delay_hist");
 
   const auto& lib300 = bench::flow().library(300.0);
   const auto& lib10 = bench::flow().library(10.0);
@@ -81,5 +82,13 @@ int main() {
       "library leakage: %.3g W @300K vs %.3g W @10K (%.2f %% reduction, "
       "\"almost negligible\" per the paper)\n",
       leak300, leak10, 100.0 * (1.0 - leak10 / leak300));
+  report.results()["cells"] = lib300.cells.size();
+  report.results()["delay_samples"] = d300.size();
+  report.results()["mean_delay_ps_300k"] = mean(d300) * 1e12;
+  report.results()["mean_delay_ps_10k"] = mean(d10) * 1e12;
+  report.results()["leakage_w_300k"] = leak300;
+  report.results()["leakage_w_10k"] = leak10;
+  report.results()["leakage_reduction_percent"] =
+      100.0 * (1.0 - leak10 / leak300);
   return 0;
 }

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "charlib/characterizer.hpp"
 #include "classify/kernels.hpp"
 #include "common/units.hpp"
 #include "exec/exec.hpp"
@@ -15,6 +16,7 @@ int main() {
   using namespace cryo;
   bench::header("fig7_scaling: classification time & power vs #qubits",
                 "paper Fig. 7");
+  auto report = bench::make_report("fig7_scaling");
 
   const double f_clk = 1e9;  // paper: "SoC (clocked at 1000 MHz)"
   const double budget_us = kFalconDecoherenceTime * 1e6;
@@ -25,6 +27,43 @@ int main() {
     power::ActivityProfile warmup;
     warmup.clock_frequency = f_clk;
     (void)bench::flow().workload_power(10.0, warmup);
+  }
+  // Timing closure of the SoC at the cryogenic corner (exercises the STA
+  // cone end-to-end; also gives the trace sta.* spans).
+  const auto timing = bench::flow().timing(10.0);
+  std::printf("SoC fmax at 10 K: %.0f MHz (critical endpoint %s)\n",
+              timing.fmax / 1e6, timing.critical_endpoint.c_str());
+  report.results()["fmax_mhz_10k"] = timing.fmax / 1e6;
+
+  // Cross-check the cached Liberty table against direct SPICE: characterize
+  // one INV_X1 at 10 K on a coarse grid with the flow's calibrated devices
+  // and compare the worst-case delay at a nominal (slew, load) point. Also
+  // keeps charlib + spice on the timeline when the artifacts are warm.
+  {
+    cells::CatalogOptions cat;
+    cat.only_bases = {"INV"};
+    cat.drives = {1};
+    const auto defs = cells::standard_cells(cat);
+    charlib::CharOptions opt;
+    opt.temperature = 10.0;
+    opt.vdd = bench::flow().config().vdd;
+    opt.slews = {2e-12, 8e-12, 32e-12};
+    opt.loads = {0.5e-15, 2e-15, 8e-15};
+    opt.characterize_setup_hold = false;
+    const charlib::Characterizer spot_char(bench::flow().nmos(),
+                                           bench::flow().pmos(), opt);
+    const auto spot = spot_char.characterize(defs.front());
+    const double slew = 8e-12, load = 2e-15;
+    const double direct_ps = spot.worst_delay(slew, load) * 1e12;
+    const charlib::CellChar* cached =
+        bench::flow().library(10.0).find(spot.def.name);
+    const double cached_ps =
+        cached != nullptr ? cached->worst_delay(slew, load) * 1e12 : -1.0;
+    std::printf("%s spot-check at 10 K: direct SPICE %.2f ps, "
+                "library table %.2f ps\n",
+                spot.def.name.c_str(), direct_ps, cached_ps);
+    report.results()["inv_spot_delay_ps_direct"] = direct_ps;
+    report.results()["inv_spot_delay_ps_library"] = cached_ps;
   }
 
   const std::vector<int> qubit_counts = {20, 50, 100, 200, 400, 600, 800,
@@ -94,6 +133,21 @@ int main() {
     std::printf("kNN becomes the bottleneck at ~%.0f qubits "
                 "(paper: ~1500, same order)\n",
                 crossover_knn);
+
+  report.results()["budget_us"] = budget_us;
+  report.results()["crossover_qubits_knn"] = crossover_knn;
+  report.results()["crossover_qubits_hdc"] = crossover_hdc;
+  auto& sweep = report.results()["sweep"];
+  for (std::size_t idx = 0; idx < qubit_counts.size(); ++idx) {
+    auto row = obs::Json::object();
+    row["qubits"] = qubit_counts[idx];
+    row["knn_cycles_per_class"] = rows[idx].knn_cycles;
+    row["hdc_cycles_per_class"] = rows[idx].hdc_cycles;
+    row["knn_time_us"] = rows[idx].t_knn;
+    row["hdc_time_us"] = rows[idx].t_hdc;
+    row["power_mw"] = rows[idx].power_mw;
+    sweep.push_back(std::move(row));
+  }
   std::printf("the paper's qualitative claims hold: time grows linearly\n"
               "with qubit count, HDC crosses the budget far earlier than\n"
               "kNN, and the SoC is busy well below the cooling budget.\n");

@@ -6,12 +6,14 @@
 // After the microbenchmarks, a characterization-scaling measurement times
 // charlib::Characterizer::characterize_all at 1 thread vs. 4 vs. the
 // hardware concurrency, checks the Liberty outputs are byte-identical,
-// and writes machine-readable BENCH_charlib.json for the perf trajectory.
+// and records everything in bench-out/BENCH_perf_microbench.json via the
+// unified obs::BenchReport schema. CRYOSOC_BENCH_QUICK=1 shrinks the
+// scaling catalog so CI smoke runs finish in seconds.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdio>
-#include <fstream>
+#include <cstdlib>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -124,10 +126,17 @@ BENCHMARK(BM_StaFullSoc);
 // Characterization scaling: the paper's 2x-library hot path. A catalog
 // subset keeps the run in seconds; speedup extrapolates since cells are
 // independent tasks.
-void run_charlib_scaling() {
+void run_charlib_scaling(obs::BenchReport& report) {
   using clock = std::chrono::steady_clock;
+  const bool quick = [] {
+    const char* env = std::getenv("CRYOSOC_BENCH_QUICK");
+    return env && *env && *env != '0';
+  }();
   cells::CatalogOptions cat;
-  cat.only_bases = {"INV", "BUF", "NAND2", "NOR2", "XOR2", "AOI21"};
+  if (quick)
+    cat.only_bases = {"INV", "NAND2"};
+  else
+    cat.only_bases = {"INV", "BUF", "NAND2", "NOR2", "XOR2", "AOI21"};
   cat.drives = {1, 2};
   const auto defs = cells::standard_cells(cat);
 
@@ -149,20 +158,20 @@ void run_charlib_scaling() {
   };
 
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
-  std::printf("\ncharlib scaling: %zu cells, 7x7 grid, hw=%u\n", defs.size(),
-              hw);
+  std::printf("\ncharlib scaling: %zu cells, 7x7 grid, hw=%u%s\n",
+              defs.size(), hw, quick ? " (quick mode)" : "");
   std::string serial_lib;
   const double t_serial = time_run(1, &serial_lib);
   std::printf("  threads= 1: %.2f s\n", t_serial);
 
   std::vector<unsigned> counts = {4};
   if (hw > 1 && hw != 4) counts.push_back(hw);
-  std::string json = "{\n  \"bench\": \"characterize_all\",\n";
-  json += "  \"cells\": " + std::to_string(defs.size()) + ",\n";
-  json += "  \"grid\": \"7x7\",\n";
-  json += "  \"hardware_concurrency\": " + std::to_string(hw) + ",\n";
-  json += "  \"serial_seconds\": " + std::to_string(t_serial) + ",\n";
-  json += "  \"runs\": [";
+  auto& scaling = report.results()["charlib_scaling"];
+  scaling["cells"] = defs.size();
+  scaling["grid"] = "7x7";
+  scaling["quick"] = quick;
+  scaling["serial_seconds"] = t_serial;
+  auto& runs = scaling["runs"];
   for (std::size_t i = 0; i < counts.size(); ++i) {
     std::string lib_text;
     const double t = time_run(static_cast<int>(counts[i]), &lib_text);
@@ -170,16 +179,13 @@ void run_charlib_scaling() {
     const double speedup = t_serial / t;
     std::printf("  threads=%2u: %.2f s  speedup %.2fx  byte-identical: %s\n",
                 counts[i], t, speedup, identical ? "yes" : "NO");
-    if (i) json += ", ";
-    json += "{\"threads\": " + std::to_string(counts[i]) +
-            ", \"seconds\": " + std::to_string(t) +
-            ", \"speedup\": " + std::to_string(speedup) +
-            ", \"byte_identical\": " + (identical ? "true" : "false") + "}";
+    auto run = obs::Json::object();
+    run["threads"] = counts[i];
+    run["seconds"] = t;
+    run["speedup"] = speedup;
+    run["byte_identical"] = identical;
+    runs.push_back(std::move(run));
   }
-  json += "]\n}\n";
-  std::ofstream f("BENCH_charlib.json");
-  f << json;
-  std::printf("  wrote BENCH_charlib.json\n");
 }
 
 }  // namespace
@@ -187,8 +193,9 @@ void run_charlib_scaling() {
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  auto report = bench::make_report("perf_microbench");
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  run_charlib_scaling();
+  run_charlib_scaling(report);
   return 0;
 }

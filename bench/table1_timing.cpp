@@ -11,6 +11,7 @@ int main() {
   using namespace cryo;
   bench::header("table1_timing: SoC critical path at 300 K vs 10 K",
                 "paper Table 1");
+  auto report = bench::make_report("table1_timing");
 
   const auto stats = netlist::stats_of(bench::flow().soc());
   std::printf("\nSoC netlist: %zu gates (%zu flops), %.0f KB SRAM\n",
@@ -32,6 +33,17 @@ int main() {
                   .c_str());
   std::printf("\nslowdown at 10 K: %+.1f %% (paper: +4.6 %%, \"less than 10 %%\")\n",
               100.0 * (t10.critical_delay / t300.critical_delay - 1.0));
+  report.results()["gates"] = stats.gates;
+  report.results()["flops"] = stats.flops;
+  report.results()["critical_delay_ns_300k"] = t300.critical_delay * 1e9;
+  report.results()["critical_delay_ns_10k"] = t10.critical_delay * 1e9;
+  report.results()["fmax_mhz_300k"] = t300.fmax / 1e6;
+  report.results()["fmax_mhz_10k"] = t10.fmax / 1e6;
+  report.results()["slowdown_percent_10k"] =
+      100.0 * (t10.critical_delay / t300.critical_delay - 1.0);
+  report.results()["worst_hold_slack_ps_300k"] =
+      t300.worst_hold_slack * 1e12;
+  report.results()["worst_hold_slack_ps_10k"] = t10.worst_hold_slack * 1e12;
   std::printf("hold slack: %.1f ps @300K, %.1f ps @10K (hold unaffected,\n"
               "matching the paper's observation)\n",
               t300.worst_hold_slack * 1e12, t10.worst_hold_slack * 1e12);

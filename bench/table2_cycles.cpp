@@ -11,6 +11,7 @@ int main() {
   using namespace cryo;
   bench::header("table2_cycles: cycles per classification",
                 "paper Table 2");
+  auto report = bench::make_report("table2_cycles");
 
   std::printf("\n%-8s %12s %12s %10s\n", "Method", "20 qubits", "400 qubits",
               "ratio");
@@ -49,6 +50,12 @@ int main() {
   std::printf("HDC/KNN slowdown: %.1fx @20q, %.1fx @400q (paper: ~3.3x;\n"
               "popcount emulation dominates, see ablation_popcount)\n",
               hdc20 / knn20, hdc400 / knn400);
+  report.results()["knn_cycles_20q"] = knn20;
+  report.results()["knn_cycles_400q"] = knn400;
+  report.results()["hdc_cycles_20q"] = hdc20;
+  report.results()["hdc_cycles_400q"] = hdc400;
+  report.results()["hdc_knn_ratio_20q"] = hdc20 / knn20;
+  report.results()["hdc_knn_ratio_400q"] = hdc400 / knn400;
   std::printf("more qubits -> larger centroid/table working set -> more\n"
               "cache misses -> more cycles, as the paper observes.\n");
   return 0;

@@ -5,6 +5,8 @@
 
 #include "common/math.hpp"
 #include "exec/exec.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace cryo::calib {
 namespace {
@@ -58,6 +60,7 @@ std::vector<double> solve_damped(std::vector<double> a, std::vector<double> b,
 std::vector<double> grid_search(const std::vector<FitParameter>& parameters,
                                 const ResidualFn& residuals,
                                 int points_per_axis) {
+  OBS_SPAN("calib.grid_search");
   const std::size_t n = parameters.size();
   std::vector<double> best(n);
   for (std::size_t i = 0; i < n; ++i) best[i] = parameters[i].initial;
@@ -101,6 +104,7 @@ std::vector<double> grid_search(const std::vector<FitParameter>& parameters,
 FitResult levenberg_marquardt(const std::vector<FitParameter>& parameters,
                               const ResidualFn& residuals,
                               const FitOptions& options) {
+  OBS_SPAN("calib.levenberg_marquardt");
   const std::size_t n = parameters.size();
   if (n == 0) throw std::invalid_argument("levenberg_marquardt: no params");
 
@@ -198,6 +202,13 @@ FitResult levenberg_marquardt(const std::vector<FitParameter>& parameters,
   result.final_cost = cost;
   result.parameters.resize(n);
   for (std::size_t i = 0; i < n; ++i) result.parameters[i] = x[i] * scale[i];
+
+  static obs::Counter& fits = obs::registry().counter("calib.lm_fits");
+  static obs::Counter& iters = obs::registry().counter("calib.lm_iterations");
+  static obs::Gauge& residual = obs::registry().gauge("calib.last_residual");
+  fits.add(1);
+  iters.add(static_cast<std::uint64_t>(result.iterations));
+  residual.set(result.final_cost);
   return result;
 }
 

@@ -1,12 +1,15 @@
 #include "charlib/characterizer.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <functional>
 #include <stdexcept>
 
 #include "common/units.hpp"
 #include "exec/exec.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "spice/engine.hpp"
 
 namespace cryo::charlib {
@@ -366,6 +369,15 @@ double Characterizer::find_hold(const cells::CellDef& cell) const {
 }
 
 CellChar Characterizer::characterize(const cells::CellDef& cell) const {
+  OBS_SPAN("charlib.cell", cell.name);
+  static obs::Histogram& cell_seconds =
+      obs::registry().histogram("charlib.cell_seconds");
+  static obs::Counter& cells_counter =
+      obs::registry().counter("charlib.cells_characterized");
+  static obs::Counter& grid_points =
+      obs::registry().counter("charlib.grid_points");
+  const auto t_start = std::chrono::steady_clock::now();
+
   CellChar out;
   out.def = cell;
 
@@ -393,6 +405,7 @@ CellChar Characterizer::characterize(const cells::CellDef& cell) const {
       out.leakage.empty() ? 0.0 : acc / static_cast<double>(out.leakage.size());
 
   for (const auto& arc : cell.arcs) {
+    OBS_SPAN("charlib.arc", arc.input, "->", arc.output);
     NldmArc tables;
     tables.input = arc.input;
     tables.output = arc.output;
@@ -414,6 +427,7 @@ CellChar Characterizer::characterize(const cells::CellDef& cell) const {
         tables.energy.at(i, j) = p.energy;
       }
     }
+    grid_points.add(options_.slews.size() * options_.loads.size());
     out.arcs.push_back(std::move(tables));
   }
 
@@ -421,12 +435,17 @@ CellChar Characterizer::characterize(const cells::CellDef& cell) const {
     out.setup_time = find_setup(cell);
     out.hold_time = find_hold(cell);
   }
+  cells_counter.add(1);
+  cell_seconds.observe(std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t_start)
+                           .count());
   return out;
 }
 
 Library Characterizer::characterize_all(
     std::span<const cells::CellDef> cell_defs,
     const std::string& library_name) const {
+  OBS_SPAN("charlib.characterize_all", library_name);
   Library lib;
   lib.name = library_name;
   lib.temperature = options_.temperature;

@@ -3,6 +3,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "riscv/assembler.hpp"
 
 namespace cryo::classify {
@@ -221,6 +222,7 @@ KernelStats run_knn_kernel(riscv::Cpu& cpu, const KnnClassifier& reference,
                            const std::vector<qubit::Measurement>& ms,
                            const KnnKernelOptions& options) {
   if (ms.empty()) throw std::invalid_argument("run_knn_kernel: no data");
+  OBS_SPAN("classify.knn");
   const auto program = riscv::assemble(knn_kernel_source(options), kCodeBase);
   cpu.load_program(program);
   // Centroid table.
@@ -258,6 +260,7 @@ KernelStats run_hdc_kernel(riscv::Cpu& cpu, const HdcClassifier& reference,
                            const std::vector<qubit::Measurement>& ms,
                            const HdcKernelOptions& options) {
   if (ms.empty()) throw std::invalid_argument("run_hdc_kernel: no data");
+  OBS_SPAN("classify.hdc");
   const auto program = riscv::assemble(hdc_kernel_source(options), kCodeBase);
   cpu.load_program(program);
   auto& mem = cpu.memory();

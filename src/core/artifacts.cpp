@@ -113,11 +113,39 @@ ArtifactKey library_artifact_key(const device::ModelCard& nmos,
   return key;
 }
 
-bool artifact_fresh(const std::string& lib_path, const ArtifactKey& key) {
+ArtifactStatus check_artifact(const std::string& lib_path,
+                              const ArtifactKey& key) {
   std::error_code ec;
-  if (!std::filesystem::exists(lib_path, ec)) return false;
+  if (!std::filesystem::exists(lib_path, ec))
+    return {false, "artifact file missing"};
   const auto manifest = liberty::read_manifest(lib_path);
-  return manifest && manifest->fingerprint == key.fingerprint;
+  if (!manifest) return {false, "sidecar manifest missing or unreadable"};
+  if (manifest->fingerprint == key.fingerprint) return {true, ""};
+
+  // Name the first recorded input whose sub-hash moved; fall back to the
+  // aggregate fingerprint for manifests written before fields existed.
+  for (const auto& [name, value] : key.fields) {
+    std::string old_value;
+    bool found = false;
+    for (const auto& [old_name, v] : manifest->fields) {
+      if (old_name == name) {
+        old_value = v;
+        found = true;
+        break;
+      }
+    }
+    if (!found)
+      return {false, "input '" + name + "' absent from stored manifest"};
+    if (old_value != value)
+      return {false, "input '" + name + "' changed (" + old_value + " -> " +
+                         value + ")"};
+  }
+  return {false, "fingerprint changed (" + hex16(manifest->fingerprint) +
+                     " -> " + hex16(key.fingerprint) + ")"};
+}
+
+bool artifact_fresh(const std::string& lib_path, const ArtifactKey& key) {
+  return check_artifact(lib_path, key).fresh;
 }
 
 }  // namespace cryo::core

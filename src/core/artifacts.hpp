@@ -44,6 +44,18 @@ ArtifactKey library_artifact_key(
     const cells::CatalogOptions& catalog, double vdd, double temperature,
     std::string_view version = kCharacterizerVersion);
 
+// Result of probing a stored artifact against the current configuration.
+// When stale, `reason` is a human-readable one-liner naming the first
+// manifest field whose sub-hash diverged (or the missing file/manifest),
+// so "why did this re-characterize?" never needs a manual manifest diff.
+struct ArtifactStatus {
+  bool fresh = false;
+  std::string reason;  // empty when fresh
+};
+
+ArtifactStatus check_artifact(const std::string& lib_path,
+                              const ArtifactKey& key);
+
 // True if `lib_path` exists and its sidecar manifest matches `key`.
 bool artifact_fresh(const std::string& lib_path, const ArtifactKey& key);
 

@@ -1,5 +1,6 @@
 #include "core/flow.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <stdexcept>
@@ -7,6 +8,8 @@
 #include "core/artifacts.hpp"
 #include "exec/exec.hpp"
 #include "liberty/liberty.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "synth/synth.hpp"
 
 namespace cryo::core {
@@ -43,6 +46,7 @@ void CryoSocFlow::ensure_devices() {
     pmos_ = device::golden_pmos();
     return;
   }
+  OBS_SPAN("flow.calibrate");
   // The two polarities are independent measurement + extraction campaigns
   // (each oracle owns its RNG stream, seeded per polarity); run them
   // concurrently.
@@ -85,13 +89,29 @@ const charlib::Library& CryoSocFlow::library(double temperature) {
   const fs::path path = fs::path(config_.lib_dir) / (name + ".lib");
 
   ensure_devices();
+  OBS_SPAN("flow.library", name);
+  static obs::Counter& hits = obs::registry().counter("artifacts.hits");
+  static obs::Counter& misses = obs::registry().counter("artifacts.misses");
+  static obs::Counter& regenerated =
+      obs::registry().counter("artifacts.regenerated");
   const ArtifactKey key = library_artifact_key(
       *nmos_, *pmos_, config_.catalog, config_.vdd, temp);
-  if (artifact_fresh(path.string(), key)) {
+  const ArtifactStatus status = check_artifact(path.string(), key);
+  if (status.fresh) {
+    hits.add(1);
+    OBS_SPAN("flow.library.load", name);
     slot = liberty::read_file(path.string());
     return *slot;
   }
+  if (status.reason.find("missing") != std::string::npos) {
+    misses.add(1);
+  } else {
+    regenerated.add(1);
+    std::fprintf(stderr, "[cryo::core] artifact %s stale: %s; re-characterizing\n",
+                 path.string().c_str(), status.reason.c_str());
+  }
 
+  OBS_SPAN("flow.library.characterize", name);
   charlib::CharOptions options;
   options.temperature = temp;
   options.vdd = config_.vdd;
@@ -112,7 +132,10 @@ const charlib::Library& CryoSocFlow::library(double temperature) {
 const netlist::Netlist& CryoSocFlow::soc() {
   if (soc_) return *soc_;
   soc_ = netlist::build_soc(config_.soc);
-  synth::optimize(*soc_, library(300.0));
+  {
+    OBS_SPAN("flow.synthesize");
+    synth::optimize(*soc_, library(300.0));
+  }
   return *soc_;
 }
 
@@ -124,6 +147,7 @@ sram::SramModel CryoSocFlow::sram_model(double temperature) {
 sta::TimingReport CryoSocFlow::timing(double temperature) {
   const auto& lib = library(temperature);
   const auto sm = sram_model(temperature);
+  OBS_SPAN("flow.sta");
   sta::StaEngine engine(soc(), lib, sm);
   return engine.run();
 }
@@ -132,6 +156,7 @@ power::PowerReport CryoSocFlow::workload_power(
     double temperature, const power::ActivityProfile& profile) {
   const auto& lib = library(temperature);
   const auto sm = sram_model(temperature);
+  OBS_SPAN("flow.power");
   power::PowerAnalyzer analyzer(soc(), lib, sm);
   return analyzer.analyze(profile);
 }

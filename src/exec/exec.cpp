@@ -1,17 +1,51 @@
 #include "exec/exec.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
+#include <cstdio>
 #include <cstdlib>
 #include <limits>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace cryo::exec {
 namespace {
 
 thread_local bool t_inside_region = false;
+
+// Scheduler instruments (resolved once; see obs/metrics.hpp).
+obs::Counter& tasks_counter() {
+  static obs::Counter& c = obs::registry().counter("exec.tasks_executed");
+  return c;
+}
+obs::Counter& regions_counter() {
+  static obs::Counter& c = obs::registry().counter("exec.parallel_regions");
+  return c;
+}
+obs::Histogram& task_seconds() {
+  static obs::Histogram& h = obs::registry().histogram("exec.task_seconds");
+  return h;
+}
+obs::Histogram& queue_wait_seconds() {
+  static obs::Histogram& h =
+      obs::registry().histogram("exec.queue_wait_seconds");
+  return h;
+}
+obs::Gauge& active_threads_gauge() {
+  static obs::Gauge& g = obs::registry().gauge("exec.active_threads");
+  return g;
+}
+
+double steady_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 // One parallel_for invocation: an index range claimed task-by-task from an
 // atomic counter (no work stealing; tasks here are milliseconds-sized
@@ -26,16 +60,23 @@ struct Batch {
   std::mutex err_mutex;
   std::size_t err_index = std::numeric_limits<std::size_t>::max();
   std::exception_ptr err;
+  double submitted_at = 0.0;  // for the queue-wait histogram
 };
 
 void run_tasks(Batch& b) {
   const bool prev = t_inside_region;
   t_inside_region = true;
+  std::size_t done = 0;
   while (!b.cancelled.load(std::memory_order_relaxed)) {
     const std::size_t i = b.next.fetch_add(1, std::memory_order_relaxed);
     if (i >= b.n) break;
+    const double t0 = steady_seconds();
+    if (done == 0 && b.submitted_at > 0.0)
+      queue_wait_seconds().observe(t0 - b.submitted_at);
+    ++done;
     try {
       (*b.fn)(i);
+      task_seconds().observe(steady_seconds() - t0);
     } catch (...) {
       std::lock_guard<std::mutex> lock(b.err_mutex);
       if (i < b.err_index) {
@@ -45,6 +86,7 @@ void run_tasks(Batch& b) {
       b.cancelled.store(true, std::memory_order_relaxed);
     }
   }
+  if (done > 0) tasks_counter().add(done);
   t_inside_region = prev;
 }
 
@@ -66,7 +108,9 @@ class Pool {
       ++generation_;
     }
     cv_.notify_all();
+    active_threads_gauge().add(1.0);
     run_tasks(batch);  // the caller is always a participant
+    active_threads_gauge().add(-1.0);
     std::unique_lock<std::mutex> lock(mutex_);
     batch_ = nullptr;  // no further workers may join
     done_cv_.wait(lock, [&] { return active_workers_ == 0; });
@@ -111,7 +155,9 @@ class Pool {
         ++batch->joined;
         ++active_workers_;
       }
+      active_threads_gauge().add(1.0);
       run_tasks(*batch);
+      active_threads_gauge().add(-1.0);
       {
         std::lock_guard<std::mutex> lock(mutex_);
         --active_workers_;
@@ -133,15 +179,43 @@ class Pool {
 
 }  // namespace
 
+namespace {
+
+// Warns once per distinct invalid CRYOSOC_THREADS value (thread_count is
+// called per parallel region; a bad environment must not spam stderr).
+void warn_invalid_threads(const char* env, unsigned fallback) {
+  static std::mutex mutex;
+  static std::string last_warned;
+  std::lock_guard<std::mutex> lock(mutex);
+  if (last_warned == env) return;
+  last_warned = env;
+  std::fprintf(stderr,
+               "[cryo::exec] ignoring invalid CRYOSOC_THREADS='%s' "
+               "(want a non-negative integer); using %u hardware "
+               "threads\n",
+               env, fallback);
+}
+
+}  // namespace
+
 unsigned thread_count(int requested) {
-  if (requested > 0) return static_cast<unsigned>(requested);
-  if (const char* env = std::getenv("CRYOSOC_THREADS")) {
-    char* end = nullptr;
-    const long v = std::strtol(env, &end, 10);
-    if (end != env && *end == '\0' && v >= 0)
-      return v <= 1 ? 1u : static_cast<unsigned>(v);
+  unsigned resolved;
+  if (requested > 0) {
+    resolved = static_cast<unsigned>(requested);
+  } else {
+    resolved = std::max(1u, std::thread::hardware_concurrency());
+    if (const char* env = std::getenv("CRYOSOC_THREADS")) {
+      char* end = nullptr;
+      const long v = std::strtol(env, &end, 10);
+      if (end != env && *end == '\0' && v >= 0)
+        resolved = v <= 1 ? 1u : static_cast<unsigned>(v);
+      else
+        warn_invalid_threads(env, resolved);
+    }
   }
-  return std::max(1u, std::thread::hardware_concurrency());
+  static obs::Gauge& gauge = obs::registry().gauge("exec.thread_count");
+  gauge.set(resolved);
+  return resolved;
 }
 
 std::uint64_t task_seed(std::uint64_t base, std::uint64_t index) {
@@ -161,23 +235,42 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
   if (want <= 1 || n == 1 || t_inside_region) {
     // Serial / nested fallback: plain loop on the calling thread. The
     // first exception aborts the remainder, matching the cancellation
-    // semantics of the parallel path.
+    // semantics of the parallel path. Nested regions skip the per-task
+    // instruments: their work is already timed by the enclosing task.
+    const bool nested = t_inside_region;
     const bool prev = t_inside_region;
     t_inside_region = true;
+    // Top-level serial regions still show as a span: the region exists on
+    // the timeline whether or not workers joined.
+    obs::Span span(nested ? nullptr : "exec.parallel_for");
+    std::size_t done = 0;
     try {
-      for (std::size_t i = 0; i < n; ++i) fn(i);
+      for (std::size_t i = 0; i < n; ++i) {
+        const double t0 = nested ? 0.0 : steady_seconds();
+        fn(i);
+        if (!nested) task_seconds().observe(steady_seconds() - t0);
+        ++done;
+      }
     } catch (...) {
       t_inside_region = prev;
+      if (!nested && done > 0) tasks_counter().add(done);
       throw;
     }
     t_inside_region = prev;
+    if (!nested) {
+      tasks_counter().add(done);
+      regions_counter().add(1);
+    }
     return;
   }
+  OBS_SPAN("exec.parallel_for");
+  regions_counter().add(1);
   Batch batch;
   batch.fn = &fn;
   batch.n = n;
   batch.max_workers =
       static_cast<unsigned>(std::min<std::size_t>(want - 1, n - 1));
+  batch.submitted_at = steady_seconds();
   Pool::instance().run(batch);
   if (batch.err) std::rethrow_exception(batch.err);
 }

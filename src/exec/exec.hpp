@@ -21,8 +21,16 @@
 //
 // Thread-count policy (first match wins):
 //  1. an explicit `threads > 0` argument,
-//  2. the CRYOSOC_THREADS environment variable (0 or 1 = serial),
+//  2. the CRYOSOC_THREADS environment variable (0 or 1 = serial; a value
+//     that is not a non-negative integer is rejected with a stderr
+//     warning, once per distinct value, and ignored),
 //  3. std::thread::hardware_concurrency().
+//
+// Observability (see src/obs/): the resolved count is exported as the
+// `exec.thread_count` gauge; the scheduler also maintains
+// `exec.tasks_executed` / `exec.parallel_regions` counters, the
+// `exec.task_seconds` / `exec.queue_wait_seconds` histograms, and the
+// `exec.active_threads` gauge.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,154 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+
+namespace cryo::obs {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()))
+    throw std::invalid_argument("Histogram: bounds must be ascending");
+}
+
+std::vector<double> Histogram::exponential_bounds(double lo, double factor,
+                                                  int n) {
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<std::size_t>(n));
+  double b = lo;
+  for (int i = 0; i < n; ++i) {
+    bounds.push_back(b);
+    b *= factor;
+  }
+  return bounds;
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  buckets_[static_cast<std::size_t>(it - bounds_.begin())].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+// Instruments live in node-stable maps so references handed out by the
+// registry survive any later registration.
+struct Registry::Impl {
+  mutable std::mutex mutex;
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+Registry::Impl& Registry::impl() const {
+  // Leaked on purpose: pool worker threads and atexit trace writers may
+  // touch instruments during process teardown, after static destructors.
+  static Impl* impl = new Impl;
+  return *impl;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mutex);
+  auto& slot = im.counters[std::string(name)];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mutex);
+  auto& slot = im.gauges[std::string(name)];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::vector<double> bounds) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mutex);
+  auto& slot = im.histograms[std::string(name)];
+  if (!slot) {
+    if (bounds.empty())
+      bounds = Histogram::exponential_bounds(1e-6, 4.0, 14);
+    slot = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return *slot;
+}
+
+namespace {
+
+std::string number_text(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string Registry::snapshot_json() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mutex);
+  std::string out = "{\n    \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : im.counters) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "      \"" + name + "\": " + std::to_string(c->value());
+  }
+  out += first ? "},\n" : "\n    },\n";
+  out += "    \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : im.gauges) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "      \"" + name + "\": " + number_text(g->value());
+  }
+  out += first ? "},\n" : "\n    },\n";
+  out += "    \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : im.histograms) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "      \"" + name + "\": {\"count\": " +
+           std::to_string(h->count()) + ", \"sum\": " +
+           number_text(h->sum()) + ", \"buckets\": [";
+    for (std::size_t i = 0; i + 1 < h->bucket_count(); ++i) {
+      if (i) out += ", ";
+      out += "{\"le\": " + number_text(h->bound(i)) + ", \"count\": " +
+             std::to_string(h->bucket(i)) + "}";
+    }
+    out += "], \"overflow\": " +
+           std::to_string(h->bucket(h->bucket_count() - 1)) + "}";
+  }
+  out += first ? "}\n  }" : "\n    }\n  }";
+  return out;
+}
+
+void Registry::reset() {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mutex);
+  for (auto& [name, c] : im.counters) c->reset();
+  for (auto& [name, g] : im.gauges) g->reset();
+  for (auto& [name, h] : im.histograms) h->reset();
+}
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+}  // namespace cryo::obs

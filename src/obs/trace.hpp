@@ -1,0 +1,71 @@
+// Scoped spans exported as Chrome trace_event JSON: the timeline half of
+// cryo::obs.
+//
+//   void Characterizer::characterize(const CellDef& cell) {
+//     OBS_SPAN("charlib.cell", cell.name);
+//     ...
+//   }
+//
+// Spans record a B (begin) event on construction and an E (end) event on
+// destruction into a per-thread buffer; buffers are merged and written as
+// one {"traceEvents": [...]} JSON, loadable in about:tracing or Perfetto.
+//
+// Enabling:
+//   * CRYOSOC_TRACE=<path> in the environment: tracing starts at the first
+//     span and the file is written at process exit (std::atexit).
+//   * trace_enable(path) / trace_write(): explicit control for tests and
+//     long-running embedders (write() flushes, clears, and disables).
+//
+// Cost policy: with tracing off a span is one cached-bool branch -- no
+// clock read, no allocation, no lock. Span detail strings are concatenated
+// only when tracing is on (pass the pieces, not a pre-built string). Spans
+// never feed back into computation, so deterministic outputs are
+// byte-identical with tracing on, off, or absent.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace cryo::obs {
+
+// True when spans are being recorded. First call consults CRYOSOC_TRACE.
+bool trace_enabled();
+
+// Starts recording; events will be written to `path`.
+void trace_enable(const std::string& path);
+
+// Writes all recorded events to the enabled path as Chrome trace JSON,
+// clears the buffers, and disables tracing. Returns the path written, or
+// empty when tracing was never enabled. I/O failure is reported on stderr
+// (tracing is diagnostics, never load-bearing).
+std::string trace_write();
+
+class Span {
+ public:
+  // A null category is an inert span (used for conditional spans).
+  explicit Span(const char* category) { open(category, {}, {}, {}); }
+  Span(const char* category, std::string_view d1, std::string_view d2 = {},
+       std::string_view d3 = {}) {
+    open(category, d1, d2, d3);
+  }
+  ~Span() { close(); }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  void open(const char* category, std::string_view d1, std::string_view d2,
+            std::string_view d3);
+  void close();
+
+  bool active_ = false;
+  std::string name_;  // populated only while active
+};
+
+}  // namespace cryo::obs
+
+#define CRYO_OBS_CAT2(a, b) a##b
+#define CRYO_OBS_CAT(a, b) CRYO_OBS_CAT2(a, b)
+// OBS_SPAN("category") or OBS_SPAN("category", detail...): scoped span
+// named "category" or "category:detail" for the rest of the block.
+#define OBS_SPAN(...) \
+  ::cryo::obs::Span CRYO_OBS_CAT(obs_span_, __LINE__)(__VA_ARGS__)

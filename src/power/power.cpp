@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace cryo::power {
 namespace {
 
@@ -36,6 +39,9 @@ PowerAnalyzer::PowerAnalyzer(const netlist::Netlist& netlist,
       sta_(netlist, library, sram_model, sta_options) {}
 
 PowerReport PowerAnalyzer::analyze(const ActivityProfile& profile) const {
+  OBS_SPAN("power.analyze");
+  static obs::Counter& analyses = obs::registry().counter("power.analyses");
+  analyses.add(1);
   PowerReport report;
   const double f = profile.clock_frequency;
   const double vdd = lib_.vdd;

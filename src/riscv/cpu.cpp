@@ -4,7 +4,34 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace cryo::riscv {
+namespace {
+
+// Publishes one run's performance-counter deltas into the process-wide
+// registry, so ISS activity shows up next to SPICE/STA metrics in every
+// BenchReport snapshot.
+void publish_perf_delta(const Perf& before, const Perf& after) {
+  static obs::Counter& instructions =
+      obs::registry().counter("riscv.instructions");
+  static obs::Counter& cycles = obs::registry().counter("riscv.cycles");
+  static obs::Counter& stalls = obs::registry().counter("riscv.stall_cycles");
+  static obs::Counter& l1i = obs::registry().counter("riscv.l1i_misses");
+  static obs::Counter& l1d = obs::registry().counter("riscv.l1d_misses");
+  static obs::Counter& l2 = obs::registry().counter("riscv.l2_misses");
+  static obs::Counter& runs = obs::registry().counter("riscv.runs");
+  instructions.add(after.instructions - before.instructions);
+  cycles.add(after.cycles - before.cycles);
+  stalls.add(after.stall_cycles - before.stall_cycles);
+  l1i.add(after.l1i_misses - before.l1i_misses);
+  l1d.add(after.l1d_misses - before.l1d_misses);
+  l2.add(after.l2_misses - before.l2_misses);
+  runs.add(1);
+}
+
+}  // namespace
 namespace {
 
 double bits_to_double(std::uint64_t bits) {
@@ -76,6 +103,8 @@ void Cpu::access_dcache(std::uint64_t addr) {
 }
 
 Cpu::RunResult Cpu::run(std::uint64_t entry, std::uint64_t max_instructions) {
+  OBS_SPAN("riscv.run");
+  const Perf perf_before = perf_;  // perf_ accumulates across run() calls
   pc_ = entry;
   RunResult result;
   regs_[0] = 0;
@@ -407,6 +436,7 @@ Cpu::RunResult Cpu::run(std::uint64_t entry, std::uint64_t max_instructions) {
       case Op::kEbreak:
         result.halted = true;
         result.cycles = perf_.cycles;
+        publish_perf_delta(perf_before, perf_);
         return result;
       case Op::kInvalid:
         break;
@@ -422,6 +452,7 @@ Cpu::RunResult Cpu::run(std::uint64_t entry, std::uint64_t max_instructions) {
     pc_ = next_pc;
   }
   result.cycles = perf_.cycles;
+  publish_perf_delta(perf_before, perf_);
   return result;
 }
 

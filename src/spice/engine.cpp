@@ -5,8 +5,41 @@
 #include <stdexcept>
 
 #include "common/math.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace cryo::spice {
+namespace {
+
+// Engine-level counters (see src/obs/). Increments are batched per solve /
+// per transient so the NR inner loop never touches a shared cacheline.
+obs::Counter& nr_iterations_counter() {
+  static obs::Counter& c = obs::registry().counter("spice.nr_iterations");
+  return c;
+}
+obs::Counter& nr_nonconverged_counter() {
+  static obs::Counter& c = obs::registry().counter("spice.nr_nonconverged");
+  return c;
+}
+obs::Counter& gmin_fallback_counter() {
+  static obs::Counter& c = obs::registry().counter("spice.gmin_fallbacks");
+  return c;
+}
+obs::Counter& transients_counter() {
+  static obs::Counter& c = obs::registry().counter("spice.transients");
+  return c;
+}
+obs::Counter& transient_steps_counter() {
+  static obs::Counter& c = obs::registry().counter("spice.transient_steps");
+  return c;
+}
+obs::Counter& transient_rejected_counter() {
+  static obs::Counter& c =
+      obs::registry().counter("spice.transient_rejected_steps");
+  return c;
+}
+
+}  // namespace
 
 bool lu_solve(std::vector<double>& a, std::vector<double>& b,
               std::size_t n) {
@@ -159,10 +192,15 @@ bool Engine::solve_nonlinear(std::vector<double>& x, double t, bool transient,
   const std::size_t n = dim_;
   std::vector<double> a(n * n), z(n);
   std::vector<double> prev_dv(n_nodes_, 0.0);
+  const auto finish = [](int iters, bool converged) {
+    nr_iterations_counter().add(static_cast<std::uint64_t>(iters));
+    if (!converged) nr_nonconverged_counter().add(1);
+    return converged;
+  };
   for (int iter = 0; iter < options.max_nr_iterations; ++iter) {
     build(x, t, transient, h, caps, gmin, a, z);
     std::vector<double> rhs = z;
-    if (!lu_solve(a, rhs, n)) return false;
+    if (!lu_solve(a, rhs, n)) return finish(iter + 1, false);
     // Voltage limiting: cap per-iteration node-voltage moves to keep the
     // linearization honest. The cap decays after a grace period and any
     // node whose update flips sign is damped, which breaks the limit
@@ -182,9 +220,10 @@ bool Engine::solve_nonlinear(std::vector<double>& x, double t, bool transient,
       max_di = std::max(max_di, std::abs(di));
       x[i] = rhs[i];
     }
-    if (max_dv < options.v_abstol && max_di < options.i_abstol) return true;
+    if (max_dv < options.v_abstol && max_di < options.i_abstol)
+      return finish(iter + 1, true);
   }
-  return false;
+  return finish(options.max_nr_iterations, false);
 }
 
 std::vector<double> Engine::dc_operating_point(double t) {
@@ -198,6 +237,7 @@ std::vector<double> Engine::dc_operating_point(double t) {
     return x_try;
 
   // gmin stepping: solve with heavy damping conductance, then relax it.
+  gmin_fallback_counter().add(1);
   x.assign(dim_, 0.0);
   for (double gmin = 1e-2; gmin >= 1e-13; gmin *= 0.1) {
     if (!solve_nonlinear(x, t, false, 0.0, caps, gmin, options) &&
@@ -218,6 +258,7 @@ std::vector<double> Engine::dc_operating_point_from(std::vector<double> x0,
 }
 
 TranResult Engine::transient(const TranOptions& options) {
+  OBS_SPAN("spice.transient");
   std::vector<std::string> node_names(n_nodes_);
   for (std::size_t i = 0; i < n_nodes_; ++i)
     node_names[i] = circuit_.node_name(static_cast<NodeId>(i + 1));
@@ -247,6 +288,14 @@ TranResult Engine::transient(const TranOptions& options) {
   double dt_prev = dt;
   bool have_prev = false;
 
+  // Step accounting, flushed to the registry in one batch per transient.
+  transients_counter().add(1);
+  std::uint64_t accepted = 0, rejected = 0;
+  const auto flush_steps = [&] {
+    transient_steps_counter().add(accepted);
+    if (rejected > 0) transient_rejected_counter().add(rejected);
+  };
+
   while (t < options.t_stop - 1e-18) {
     // Land exactly on source breakpoints so PWL corners are not smeared.
     double dt_eff = std::min(dt, options.t_stop - t);
@@ -265,9 +314,12 @@ TranResult Engine::transient(const TranOptions& options) {
     const bool ok = solve_nonlinear(x_new, t + dt_eff, true, dt_eff, caps,
                                     1e-12, options);
     if (!ok) {
+      ++rejected;
       dt = dt_eff / 4.0;
-      if (dt < options.dt_min)
+      if (dt < options.dt_min) {
+        flush_steps();
         throw std::runtime_error("transient: timestep underflow (NR)");
+      }
       continue;
     }
 
@@ -281,6 +333,7 @@ TranResult Engine::transient(const TranOptions& options) {
         err = std::max(err, std::abs(x_new[i] - pred));
       }
       if (err > options.lte_tol * 50.0 && dt_eff > options.dt_min * 16.0) {
+        ++rejected;
         dt = dt_eff / 2.0;
         continue;
       }
@@ -305,8 +358,10 @@ TranResult Engine::transient(const TranOptions& options) {
     have_prev = true;
     x = x_new;
     t += dt_eff;
+    ++accepted;
     result.append(t, x, n_nodes_);
   }
+  flush_steps();
   return result;
 }
 

@@ -5,6 +5,9 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace cryo::sta {
 namespace {
 
@@ -60,6 +63,12 @@ double StaEngine::net_load(netlist::NetId net) const {
 }
 
 TimingReport StaEngine::run() const {
+  OBS_SPAN("sta.run");
+  static obs::Counter& runs = obs::registry().counter("sta.runs");
+  static obs::Counter& gates_propagated =
+      obs::registry().counter("sta.gates_propagated");
+  runs.add(1);
+
   const std::size_t n_nets = nl_.net_count();
   const std::size_t n_gates = nl_.gates().size();
 
@@ -110,26 +119,30 @@ TimingReport StaEngine::run() const {
   // Levelize combinational gates (Kahn).
   std::vector<int> pending(n_gates, 0);
   std::vector<std::size_t> ready;
-  for (std::size_t gi = 0; gi < n_gates; ++gi) {
-    const auto& gate = nl_.gates()[gi];
-    const charlib::CellChar& cell = lib_.at(gate.cell);
-    if (cell.def.sequential) continue;  // flops are launch/capture points
-    int unresolved = 0;
-    for (const auto& [pin, net] : gate.conns) {
-      bool is_input = false;
-      for (const auto& in : cell.def.inputs) is_input |= (in == pin);
-      if (!is_input) continue;
-      if (arrival[static_cast<std::size_t>(net)] <= kNegInf / 2) ++unresolved;
+  std::size_t comb_total = 0;
+  {
+    OBS_SPAN("sta.levelize");
+    for (std::size_t gi = 0; gi < n_gates; ++gi) {
+      const auto& gate = nl_.gates()[gi];
+      const charlib::CellChar& cell = lib_.at(gate.cell);
+      if (cell.def.sequential) continue;  // flops are launch/capture points
+      int unresolved = 0;
+      for (const auto& [pin, net] : gate.conns) {
+        bool is_input = false;
+        for (const auto& in : cell.def.inputs) is_input |= (in == pin);
+        if (!is_input) continue;
+        if (arrival[static_cast<std::size_t>(net)] <= kNegInf / 2)
+          ++unresolved;
+      }
+      pending[gi] = unresolved;
+      if (unresolved == 0) ready.push_back(gi);
     }
-    pending[gi] = unresolved;
-    if (unresolved == 0) ready.push_back(gi);
+    for (std::size_t gi = 0; gi < n_gates; ++gi)
+      if (!lib_.at(nl_.gates()[gi].cell).def.sequential) ++comb_total;
   }
 
   std::size_t processed = 0;
-  std::size_t comb_total = 0;
-  for (std::size_t gi = 0; gi < n_gates; ++gi)
-    if (!lib_.at(nl_.gates()[gi].cell).def.sequential) ++comb_total;
-
+  OBS_SPAN("sta.propagate");
   while (!ready.empty()) {
     const std::size_t gi = ready.back();
     ready.pop_back();
@@ -177,6 +190,7 @@ TimingReport StaEngine::run() const {
       }
     }
   }
+  gates_propagated.add(processed);
   if (processed != comb_total)
     throw std::runtime_error(
         "StaEngine: combinational loop or unconnected cone (" +

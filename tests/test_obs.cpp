@@ -1,0 +1,422 @@
+// Tests of cryo::obs: exact concurrent counters, histogram bucket
+// semantics, Chrome-trace span export (valid JSON, balanced B/E pairs),
+// the BenchReport schema, the thread-count parsing policy, the artifact
+// stale-reason diagnostics, and the guarantee that tracing never changes
+// deterministic outputs.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cells/celldef.hpp"
+#include "charlib/characterizer.hpp"
+#include "core/artifacts.hpp"
+#include "device/modelcard.hpp"
+#include "exec/exec.hpp"
+#include "liberty/liberty.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+
+namespace cryo {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// Minimal JSON syntax checker: verifies the text is one well-formed JSON
+// value (objects, arrays, strings with escapes, numbers, literals).
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;
+    return true;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E'))
+      ++pos_;
+    return pos_ > start;
+  }
+  bool literal(const char* word) {
+    const std::size_t len = std::string(word).size();
+    if (s_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' ||
+            s_[pos_] == '\r'))
+      ++pos_;
+  }
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+// Scoped environment-variable override; restores the prior value on exit.
+class EnvGuard {
+ public:
+  EnvGuard(const char* name, const char* value) : name_(name) {
+    if (const char* old = std::getenv(name)) {
+      had_ = true;
+      saved_ = old;
+    }
+    if (value)
+      setenv(name, value, 1);
+    else
+      unsetenv(name);
+  }
+  ~EnvGuard() {
+    if (had_)
+      setenv(name_.c_str(), saved_.c_str(), 1);
+    else
+      unsetenv(name_.c_str());
+  }
+
+ private:
+  std::string name_;
+  bool had_ = false;
+  std::string saved_;
+};
+
+TEST(ObsMetrics, ConcurrentCounterSumsExactly) {
+  obs::Counter& c = obs::registry().counter("test.concurrent_counter");
+  c.reset();
+  constexpr std::size_t kTasks = 2000;
+  constexpr std::uint64_t kPerTask = 37;
+  exec::parallel_for(kTasks, [&](std::size_t) {
+    for (std::uint64_t i = 0; i < kPerTask; ++i) c.add(1);
+  });
+  EXPECT_EQ(c.value(), kTasks * kPerTask);
+}
+
+TEST(ObsMetrics, CounterSameNameSameInstance) {
+  obs::Counter& a = obs::registry().counter("test.same_name");
+  obs::Counter& b = obs::registry().counter("test.same_name");
+  EXPECT_EQ(&a, &b);
+  a.reset();
+  a.add(5);
+  EXPECT_EQ(b.value(), 5u);
+}
+
+TEST(ObsMetrics, GaugeSetAndAdd) {
+  obs::Gauge& g = obs::registry().gauge("test.gauge");
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.add(1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 4.0);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(ObsMetrics, HistogramBucketBoundaries) {
+  obs::Histogram& h =
+      obs::registry().histogram("test.hist_bounds", {1.0, 10.0, 100.0});
+  h.reset();
+  ASSERT_EQ(h.bucket_count(), 4u);  // 3 bounds + overflow
+
+  h.observe(0.5);    // <= 1       -> bucket 0
+  h.observe(1.0);    // == bound 0 -> bucket 0 (inclusive upper bound)
+  h.observe(5.0);    // <= 10      -> bucket 1
+  h.observe(10.0);   // == bound 1 -> bucket 1
+  h.observe(99.0);   // <= 100     -> bucket 2
+  h.observe(1000.0); // past last  -> overflow
+
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 2u);
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_EQ(h.bucket(3), 1u);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_NEAR(h.sum(), 0.5 + 1.0 + 5.0 + 10.0 + 99.0 + 1000.0, 1e-9);
+}
+
+TEST(ObsMetrics, SnapshotJsonIsValidAndContainsInstruments) {
+  obs::registry().counter("test.snapshot_counter").add(3);
+  obs::registry().gauge("test.snapshot_gauge").set(1.25);
+  obs::registry().histogram("test.snapshot_hist").observe(0.01);
+  const std::string json = obs::registry().snapshot_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("test.snapshot_counter"), std::string::npos);
+  EXPECT_NE(json.find("test.snapshot_gauge"), std::string::npos);
+  EXPECT_NE(json.find("test.snapshot_hist"), std::string::npos);
+}
+
+TEST(ObsTrace, WritesValidChromeTraceWithBalancedSpans) {
+  const fs::path path =
+      fs::temp_directory_path() / "cryosoc_test_trace.json";
+  std::error_code ec;
+  fs::remove(path, ec);
+
+  obs::trace_enable(path.string());
+  ASSERT_TRUE(obs::trace_enabled());
+  {
+    OBS_SPAN("test.outer", "detail");
+    OBS_SPAN("test.inner");
+  }
+  // Spans from worker threads land in per-thread buffers.
+  exec::parallel_for(16, [&](std::size_t i) {
+    OBS_SPAN("test.task", i % 2 ? "odd" : "even");
+  });
+  const std::string written = obs::trace_write();
+  EXPECT_EQ(written, path.string());
+  EXPECT_FALSE(obs::trace_enabled());
+
+  const std::string text = read_file(path);
+  ASSERT_FALSE(text.empty());
+  EXPECT_TRUE(JsonChecker(text).valid()) << text.substr(0, 400);
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(text.find("test.outer:detail"), std::string::npos);
+  EXPECT_NE(text.find("test.task"), std::string::npos);
+
+  // Every begin has a matching end (count "ph":"B" vs "ph":"E").
+  const auto count_of = [&](const std::string& needle) {
+    std::size_t n = 0;
+    for (std::size_t at = text.find(needle); at != std::string::npos;
+         at = text.find(needle, at + 1))
+      ++n;
+    return n;
+  };
+  const std::size_t begins = count_of("\"ph\": \"B\"");
+  const std::size_t ends = count_of("\"ph\": \"E\"");
+  EXPECT_GT(begins, 0u);
+  EXPECT_EQ(begins, ends);
+
+  fs::remove(path, ec);
+}
+
+TEST(ObsTrace, DisabledSpansRecordNothing) {
+  ASSERT_FALSE(obs::trace_enabled());
+  { OBS_SPAN("test.should_not_appear"); }
+  EXPECT_TRUE(obs::trace_write().empty());
+}
+
+TEST(ObsReport, BenchReportMatchesSchema) {
+  const fs::path dir = fs::temp_directory_path() / "cryosoc_test_bench_out";
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  EnvGuard guard("CRYOSOC_BENCH_DIR", dir.string().c_str());
+
+  {
+    auto report = obs::BenchReport("unit_test");
+    report.set_threads(3);
+    report.results()["answer"] = 42;
+    report.results()["nested"]["pi"] = 3.14;
+    report.results()["list"].push_back(1).push_back(2);
+    const std::string path = report.write();
+    EXPECT_EQ(path, (dir / "BENCH_unit_test.json").string());
+  }
+
+  const std::string text = read_file(dir / "BENCH_unit_test.json");
+  ASSERT_FALSE(text.empty());
+  EXPECT_TRUE(JsonChecker(text).valid()) << text.substr(0, 400);
+  for (const char* field :
+       {"\"schema\"", "cryosoc-bench-v1", "\"bench\"", "unit_test",
+        "\"wall_seconds\"", "\"threads\"", "\"hardware_concurrency\"",
+        "\"git\"", "\"results\"", "\"answer\"", "\"metrics\""})
+    EXPECT_NE(text.find(field), std::string::npos) << field;
+
+  fs::remove_all(dir, ec);
+}
+
+TEST(ObsReport, DestructorWritesIfWriteNotCalled) {
+  const fs::path dir = fs::temp_directory_path() / "cryosoc_test_bench_dtor";
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  EnvGuard guard("CRYOSOC_BENCH_DIR", dir.string().c_str());
+  {
+    auto report = obs::BenchReport("dtor_test");
+    report.results()["x"] = 1;
+  }
+  EXPECT_TRUE(fs::exists(dir / "BENCH_dtor_test.json"));
+  fs::remove_all(dir, ec);
+}
+
+TEST(ObsExec, ThreadCountParsingPolicy) {
+  obs::Gauge& gauge = obs::registry().gauge("exec.thread_count");
+  {
+    EnvGuard guard("CRYOSOC_THREADS", "3");
+    EXPECT_EQ(exec::thread_count(), 3u);
+    EXPECT_DOUBLE_EQ(gauge.value(), 3.0);
+  }
+  {
+    EnvGuard guard("CRYOSOC_THREADS", "0");
+    EXPECT_EQ(exec::thread_count(), 1u);
+  }
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  {
+    // Garbage is rejected (with a warning) and falls back to hardware.
+    EnvGuard guard("CRYOSOC_THREADS", "garbage");
+    EXPECT_EQ(exec::thread_count(), hw);
+    EXPECT_DOUBLE_EQ(gauge.value(), static_cast<double>(hw));
+  }
+  {
+    EnvGuard guard("CRYOSOC_THREADS", "-2");
+    EXPECT_EQ(exec::thread_count(), hw);
+  }
+  {
+    EnvGuard guard("CRYOSOC_THREADS", "12abc");
+    EXPECT_EQ(exec::thread_count(), hw);
+  }
+  // An explicit request always wins over the environment.
+  {
+    EnvGuard guard("CRYOSOC_THREADS", "5");
+    EXPECT_EQ(exec::thread_count(2), 2u);
+  }
+}
+
+TEST(ObsArtifacts, StaleReasonNamesDivergedField) {
+  const fs::path dir = fs::temp_directory_path() / "cryosoc_test_artifacts";
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  fs::create_directories(dir);
+  const fs::path lib_path = dir / "unit.lib";
+
+  const auto nmos = device::golden_nmos();
+  const auto pmos = device::golden_pmos();
+  cells::CatalogOptions cat;
+  cat.only_bases = {"INV"};
+  cat.drives = {1};
+
+  const core::ArtifactKey old_key =
+      core::library_artifact_key(nmos, pmos, cat, 0.7, 300.0);
+  std::ofstream(lib_path) << "library (unit) {}\n";
+  liberty::write_manifest(lib_path.string(), old_key.manifest());
+
+  // Same configuration: fresh.
+  EXPECT_TRUE(core::artifact_fresh(lib_path.string(), old_key));
+  EXPECT_TRUE(core::check_artifact(lib_path.string(), old_key).fresh);
+
+  // Supply changed: stale, and the reason names the vdd field.
+  const core::ArtifactKey new_key =
+      core::library_artifact_key(nmos, pmos, cat, 0.65, 300.0);
+  const auto status = core::check_artifact(lib_path.string(), new_key);
+  EXPECT_FALSE(status.fresh);
+  EXPECT_NE(status.reason.find("vdd"), std::string::npos) << status.reason;
+
+  // Missing file: stale with a "missing" reason.
+  const auto missing =
+      core::check_artifact((dir / "absent.lib").string(), old_key);
+  EXPECT_FALSE(missing.fresh);
+  EXPECT_NE(missing.reason.find("missing"), std::string::npos);
+
+  fs::remove_all(dir, ec);
+}
+
+// The determinism guarantee behind all of cryo::obs: instrumentation never
+// feeds back into computation, so the Liberty text from characterize_all
+// is byte-identical at any thread count, with tracing off or on.
+TEST(ObsDeterminism, CharacterizationByteIdenticalWithTracing) {
+  cells::CatalogOptions cat;
+  cat.only_bases = {"INV"};
+  cat.drives = {1};
+  const auto defs = cells::standard_cells(cat);
+
+  charlib::CharOptions opt;
+  opt.temperature = 300.0;
+  opt.vdd = 0.7;
+  opt.characterize_setup_hold = false;
+
+  const auto run = [&](int threads) {
+    charlib::CharOptions o = opt;
+    o.threads = threads;
+    charlib::Characterizer ch(device::golden_nmos(), device::golden_pmos(),
+                              o);
+    return liberty::write(ch.characterize_all(defs, "obs_determinism"));
+  };
+
+  ASSERT_FALSE(obs::trace_enabled());
+  const std::string serial = run(1);
+  const std::string parallel = run(4);
+  EXPECT_EQ(serial, parallel);
+
+  const fs::path path =
+      fs::temp_directory_path() / "cryosoc_test_determinism_trace.json";
+  obs::trace_enable(path.string());
+  const std::string traced = run(4);
+  obs::trace_write();
+  EXPECT_EQ(serial, traced);
+
+  std::error_code ec;
+  fs::remove(path, ec);
+}
+
+}  // namespace
+}  // namespace cryo
