@@ -42,6 +42,22 @@ double leakage_of(const std::vector<LeakageState>& states,
   return 0.0;
 }
 
+// Last-chance solver configuration for an arc that failed at the default
+// settings: a much larger NR budget and a looser local-error gate. The
+// accuracy loss is acceptable — the alternative is no table entry at all.
+spice::TranOptions relax(spice::TranOptions tran) {
+  tran.max_nr_iterations *= 4;
+  tran.lte_tol *= 10.0;
+  return tran;
+}
+
+// Quarantine label: stable, human-greppable, and deterministic.
+std::string arc_label(const cells::CellDef& cell,
+                      const cells::TimingArc& arc) {
+  return cell.name + ":" + arc.input + (arc.input_rise ? "_rise" : "_fall") +
+         "->" + arc.output + (arc.output_rise ? "_rise" : "_fall");
+}
+
 }  // namespace
 
 Characterizer::Characterizer(device::ModelCard nmos, device::ModelCard pmos,
@@ -142,7 +158,8 @@ std::vector<LeakageState> Characterizer::measure_leakage(
 
 Characterizer::ArcPoint Characterizer::simulate_arc(
     const cells::CellDef& cell, const cells::TimingArc& arc, double slew,
-    double load, const std::vector<LeakageState>& leakage) const {
+    double load, const std::vector<LeakageState>& leakage,
+    bool relaxed) const {
   const double vdd = options_.vdd;
   const double ramp = ramp_of(slew);
   const double start = 2e-12 + 0.5 * slew;
@@ -172,10 +189,12 @@ Characterizer::ArcPoint Characterizer::simulate_arc(
   // Adaptive window: extend if the output has not settled.
   double settle = 80e-12 + load * 2.5e4;
   ArcPoint point;
-  for (int attempt = 0; attempt < 3; ++attempt) {
+  const int max_attempts = relaxed ? 4 : 3;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
     spice::TranOptions tran;
     tran.t_stop = start + ramp + settle;
     tran.dt_max = 6e-12;
+    if (relaxed) tran = relax(tran);
     const spice::TranResult result = engine.transient(tran);
     const spice::Trace out = result.node(arc.output);
 
@@ -205,7 +224,7 @@ Characterizer::ArcPoint Characterizer::simulate_arc(
 
 Characterizer::ArcPoint Characterizer::simulate_clk_arc(
     const cells::CellDef& cell, const cells::TimingArc& arc, double slew,
-    double load) const {
+    double load, bool relaxed) const {
   const double vdd = options_.vdd;
   const double ramp = ramp_of(slew);
   const bool target = arc.side_inputs.at("D");
@@ -235,10 +254,12 @@ Characterizer::ArcPoint Characterizer::simulate_clk_arc(
   spice::Engine engine(circuit);
 
   double settle = 120e-12 + load * 2.5e4;
-  for (int attempt = 0; attempt < 3; ++attempt) {
+  const int max_attempts = relaxed ? 4 : 3;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
     spice::TranOptions tran;
     tran.t_stop = e2 + ramp + settle;
     tran.dt_max = 6e-12;
+    if (relaxed) tran = relax(tran);
     const spice::TranResult result = engine.transient(tran);
     const spice::Trace q = result.node(arc.output);
 
@@ -404,6 +425,11 @@ CellChar Characterizer::characterize(const cells::CellDef& cell) const {
   out.leakage_avg =
       out.leakage.empty() ? 0.0 : acc / static_cast<double>(out.leakage.size());
 
+  static obs::Counter& arc_retries =
+      obs::registry().counter("charlib.arc_retries");
+  static obs::Counter& failed_arcs =
+      obs::registry().counter("charlib.failed_arcs");
+
   for (const auto& arc : cell.arcs) {
     OBS_SPAN("charlib.arc", arc.input, "->", arc.output);
     NldmArc tables;
@@ -414,18 +440,41 @@ CellChar Characterizer::characterize(const cells::CellDef& cell) const {
     tables.delay = Table2D(options_.slews, options_.loads);
     tables.output_slew = Table2D(options_.slews, options_.loads);
     tables.energy = Table2D(options_.slews, options_.loads);
-    for (std::size_t i = 0; i < options_.slews.size(); ++i) {
-      for (std::size_t j = 0; j < options_.loads.size(); ++j) {
-        const ArcPoint p =
-            cell.sequential
-                ? simulate_clk_arc(cell, arc, options_.slews[i],
-                                   options_.loads[j])
-                : simulate_arc(cell, arc, options_.slews[i],
-                               options_.loads[j], out.leakage);
+    bool arc_ok = true;
+    for (std::size_t i = 0; arc_ok && i < options_.slews.size(); ++i) {
+      for (std::size_t j = 0; arc_ok && j < options_.loads.size(); ++j) {
+        const auto point = [&](bool relaxed) {
+          return cell.sequential
+                     ? simulate_clk_arc(cell, arc, options_.slews[i],
+                                        options_.loads[j], relaxed)
+                     : simulate_arc(cell, arc, options_.slews[i],
+                                    options_.loads[j], out.leakage, relaxed);
+        };
+        // Grid points that fail at the default solver settings get one
+        // relaxed retry; an arc whose point still fails is quarantined
+        // as a whole (a partially-filled NLDM table would interpolate
+        // garbage) and the run continues with the remaining arcs.
+        ArcPoint p;
+        try {
+          p = point(false);
+        } catch (const std::runtime_error&) {
+          arc_retries.add(1);
+          try {
+            p = point(true);
+          } catch (const std::runtime_error&) {
+            arc_ok = false;
+            break;
+          }
+        }
         tables.delay.at(i, j) = p.delay;
         tables.output_slew.at(i, j) = p.output_slew;
         tables.energy.at(i, j) = p.energy;
       }
+    }
+    if (!arc_ok) {
+      failed_arcs.add(1);
+      out.failed_arcs.push_back(arc_label(cell, arc));
+      continue;
     }
     grid_points.add(options_.slews.size() * options_.loads.size());
     out.arcs.push_back(std::move(tables));
@@ -461,6 +510,12 @@ Library Characterizer::characterize_all(
       cell_defs.size(),
       [&](std::size_t i) { lib.cells[i] = characterize(cell_defs[i]); },
       options_.threads);
+  // Aggregate quarantined arcs in cell order, so the list (and the
+  // manifest it lands in) is deterministic at any thread count.
+  for (const auto& cell : lib.cells)
+    lib.quarantined_arcs.insert(lib.quarantined_arcs.end(),
+                                cell.failed_arcs.begin(),
+                                cell.failed_arcs.end());
   return lib;
 }
 

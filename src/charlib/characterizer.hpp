@@ -66,15 +66,18 @@ class Characterizer {
       const std::vector<std::pair<std::string, spice::Waveform>>& drives,
       const std::string& load_pin, double load_farads) const;
 
-  // Simulates one combinational arc at one (slew, load) point.
+  // Simulates one combinational arc at one (slew, load) point. `relaxed`
+  // is the last-chance retry configuration: larger NR budget, looser LTE
+  // acceptance, and more settle-window extensions.
   ArcPoint simulate_arc(const cells::CellDef& cell,
                         const cells::TimingArc& arc, double slew,
                         double load,
-                        const std::vector<LeakageState>& leakage) const;
+                        const std::vector<LeakageState>& leakage,
+                        bool relaxed = false) const;
   // Simulates one clock->output arc of a sequential cell.
   ArcPoint simulate_clk_arc(const cells::CellDef& cell,
                             const cells::TimingArc& arc, double slew,
-                            double load) const;
+                            double load, bool relaxed = false) const;
   std::vector<LeakageState> measure_leakage(
       const cells::CellDef& cell) const;
   double find_setup(const cells::CellDef& cell) const;

@@ -42,6 +42,10 @@ struct CellChar {
   // Sequential constraints [s] (zero for combinational cells).
   double setup_time = 0.0;
   double hold_time = 0.0;
+  // Arcs that failed characterization even after the relaxed retry, as
+  // "CELL:IN_rise->OUT_fall" labels. A non-empty list means the cell's
+  // arc tables are incomplete and the library must not be cached.
+  std::vector<std::string> failed_arcs;
 
   double pin_cap(const std::string& pin) const;
   // Worst (max over arcs, at given slew/load) propagation delay.
@@ -55,6 +59,10 @@ struct Library {
   std::vector<double> slew_grid;  // characterization input slews [s]
   std::vector<double> load_grid;  // characterization loads [F]
   std::vector<CellChar> cells;
+  // Union of every cell's failed_arcs, in cell order (deterministic at
+  // any thread count). Recorded in the artifact manifest so a library
+  // characterized with failures is never mistaken for a complete one.
+  std::vector<std::string> quarantined_arcs;
 
   const CellChar* find(const std::string& cell_name) const;
   const CellChar& at(const std::string& cell_name) const;

@@ -54,6 +54,42 @@ std::string canonical_catalog(const cells::CatalogOptions& catalog) {
   return text;
 }
 
+// Canonical rendering of one explicit cell definition: everything that
+// shapes its characterized tables (pins, topology, arcs, area) goes into
+// the hash so edited overrides never collide.
+std::string canonical_celldef(const cells::CellDef& cell) {
+  std::string text = cell.name + ";" + cell.base + ";";
+  text += "drive=" + std::to_string(cell.drive) + ";";
+  text += cell.flavor == cells::VtFlavor::kSlvt ? "slvt;" : "lvt;";
+  text += "in=";
+  for (const auto& in : cell.inputs) text += in + ",";
+  text += ";out=";
+  for (const auto& out : cell.outputs)
+    text += out.name + ":" + std::to_string(out.truth) + ",";
+  text += ";fets=";
+  for (const auto& t : cell.transistors) {
+    text += t.polarity == device::Polarity::kNmos ? "n" : "p";
+    text += t.name + ":" + t.drain + ":" + t.gate + ":" + t.source + ":" +
+            std::to_string(t.fins) + ",";
+  }
+  text += ";seq=";
+  text += cell.sequential ? "1" : "0";
+  text += ";clk=" + cell.clock;
+  text += ";latch=";
+  text += cell.is_latch ? "1" : "0";
+  text += ";arcs=";
+  for (const auto& arc : cell.arcs) {
+    text += arc.input + (arc.input_rise ? "r" : "f") + ">" + arc.output +
+            (arc.output_rise ? "r" : "f") + "[";
+    for (const auto& [pin, high] : arc.side_inputs)
+      text += pin + (high ? "1" : "0");
+    text += "],";
+  }
+  text += ";area=";
+  append_double(text, cell.area);
+  return text;
+}
+
 std::string hex16(std::uint64_t v) {
   char buf[17];
   std::snprintf(buf, sizeof buf, "%016llx",
@@ -83,7 +119,8 @@ ArtifactKey library_artifact_key(const device::ModelCard& nmos,
                                  const device::ModelCard& pmos,
                                  const cells::CatalogOptions& catalog,
                                  double vdd, double temperature,
-                                 std::string_view version) {
+                                 std::string_view version,
+                                 const std::vector<cells::CellDef>* cells_override) {
   ArtifactKey key;
   const std::uint64_t h_n = fnv1a64(canonical_modelcard(nmos));
   const std::uint64_t h_p = fnv1a64(canonical_modelcard(pmos));
@@ -100,16 +137,25 @@ ArtifactKey library_artifact_key(const device::ModelCard& nmos,
   canonical += ";catalog=" + hex16(h_cat);
   canonical += ";vdd=" + vdd_text;
   canonical += ";temperature=" + temp_text;
+  if (cells_override != nullptr) {
+    std::string cells_text;
+    for (const auto& cell : *cells_override)
+      cells_text += canonical_celldef(cell);
+    const std::uint64_t h_cells = fnv1a64(cells_text);
+    canonical += ";cells=" + hex16(h_cells);
+    key.fields.emplace_back("cells-override", hex16(h_cells));
+  }
   key.fingerprint = fnv1a64(canonical);
 
-  key.fields = {
-      {"version", std::string(version)},
-      {"temperature", temp_text},
-      {"vdd", vdd_text},
-      {"modelcard-nmos", hex16(h_n)},
-      {"modelcard-pmos", hex16(h_p)},
-      {"catalog", hex16(h_cat)},
-  };
+  key.fields.insert(key.fields.begin(),
+                    {
+                        {"version", std::string(version)},
+                        {"temperature", temp_text},
+                        {"vdd", vdd_text},
+                        {"modelcard-nmos", hex16(h_n)},
+                        {"modelcard-pmos", hex16(h_p)},
+                        {"catalog", hex16(h_cat)},
+                    });
   return key;
 }
 
@@ -120,6 +166,12 @@ ArtifactStatus check_artifact(const std::string& lib_path,
     return {false, "artifact file missing"};
   const auto manifest = liberty::read_manifest(lib_path);
   if (!manifest) return {false, "sidecar manifest missing or unreadable"};
+  // A quarantined artifact is incomplete by construction (arcs missing
+  // from its tables); it is never fresh, whatever its fingerprint says.
+  if (!manifest->quarantined.empty())
+    return {false, std::to_string(manifest->quarantined.size()) +
+                       " quarantined arc(s), e.g. " +
+                       manifest->quarantined.front()};
   if (manifest->fingerprint == key.fingerprint) return {true, ""};
 
   // Name the first recorded input whose sub-hash moved; fall back to the

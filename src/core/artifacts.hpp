@@ -39,10 +39,14 @@ struct ArtifactKey {
 };
 
 // Builds the key for a library characterized from the given inputs.
+// `cells_override`, when non-null, is an explicit cell list replacing the
+// catalog (see FlowConfig::cells_override); its full definitions are
+// hashed so two different overrides never share an artifact.
 ArtifactKey library_artifact_key(
     const device::ModelCard& nmos, const device::ModelCard& pmos,
     const cells::CatalogOptions& catalog, double vdd, double temperature,
-    std::string_view version = kCharacterizerVersion);
+    std::string_view version = kCharacterizerVersion,
+    const std::vector<cells::CellDef>* cells_override = nullptr);
 
 // Result of probing a stored artifact against the current configuration.
 // When stale, `reason` is a human-readable one-liner naming the first

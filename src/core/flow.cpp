@@ -95,7 +95,9 @@ const charlib::Library& CryoSocFlow::library(double temperature) {
   static obs::Counter& regenerated =
       obs::registry().counter("artifacts.regenerated");
   const ArtifactKey key = library_artifact_key(
-      *nmos_, *pmos_, config_.catalog, config_.vdd, temp);
+      *nmos_, *pmos_, config_.catalog, config_.vdd, temp,
+      kCharacterizerVersion,
+      config_.cells_override ? &*config_.cells_override : nullptr);
   const ArtifactStatus status = check_artifact(path.string(), key);
   if (status.fresh) {
     hits.add(1);
@@ -116,13 +118,27 @@ const charlib::Library& CryoSocFlow::library(double temperature) {
   options.temperature = temp;
   options.vdd = config_.vdd;
   charlib::Characterizer characterizer(*nmos_, *pmos_, options);
-  const auto defs = cells::standard_cells(config_.catalog);
+  const auto defs = config_.cells_override
+                        ? *config_.cells_override
+                        : cells::standard_cells(config_.catalog);
   slot = characterizer.characterize_all(defs, name);
   std::error_code ec;
   fs::create_directories(config_.lib_dir, ec);
+  liberty::Manifest manifest = key.manifest();
+  manifest.quarantined = slot->quarantined_arcs;
+  if (!manifest.quarantined.empty())
+    std::fprintf(stderr,
+                 "[cryo::core] library %s characterized with %zu "
+                 "quarantined arc(s) (first: %s); artifact will not be "
+                 "reused\n",
+                 name.c_str(), manifest.quarantined.size(),
+                 manifest.quarantined.front().c_str());
   try {
     liberty::write_file(*slot, path.string());
-    liberty::write_manifest(path.string(), key.manifest());
+    // The manifest records the quarantine list, which check_artifact
+    // treats as permanently stale — a degraded library is usable in this
+    // process but never trusted from disk.
+    liberty::write_manifest(path.string(), manifest);
   } catch (const std::exception&) {
     // Cache write failure is non-fatal (read-only checkout).
   }

@@ -40,6 +40,10 @@ struct FlowConfig {
   // a parameter to probe the artifact cache).
   std::optional<device::ModelCard> nmos_override;
   std::optional<device::ModelCard> pmos_override;
+  // Explicit cell list replacing the catalog (e.g. injecting a hostile
+  // cell to exercise quarantine). The definitions are hashed into the
+  // artifact key, so overridden runs never collide with catalog runs.
+  std::optional<std::vector<cells::CellDef>> cells_override;
   std::uint64_t seed = 42;
 };
 

@@ -58,6 +58,10 @@ charlib::Library read_file(const std::string& path);
 struct Manifest {
   std::uint64_t fingerprint = 0;
   std::vector<std::pair<std::string, std::string>> fields;
+  // Arc labels the characterizer had to quarantine (empty for a clean
+  // run). A manifest with entries here marks an incomplete artifact:
+  // the store treats it as permanently stale.
+  std::vector<std::string> quarantined;
 };
 
 // Sidecar path of a Liberty artifact: `<lib_path>.manifest`.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <stdexcept>
 
 #include "common/math.hpp"
@@ -25,6 +26,20 @@ obs::Counter& gmin_fallback_counter() {
   static obs::Counter& c = obs::registry().counter("spice.gmin_fallbacks");
   return c;
 }
+obs::Counter& source_step_fallback_counter() {
+  static obs::Counter& c =
+      obs::registry().counter("spice.source_step_fallbacks");
+  return c;
+}
+obs::Counter& solve_error_counter() {
+  static obs::Counter& c = obs::registry().counter("spice.solve_errors");
+  return c;
+}
+obs::Counter& near_singular_counter() {
+  static obs::Counter& c =
+      obs::registry().counter("spice.near_singular_pivots");
+  return c;
+}
 obs::Counter& transients_counter() {
   static obs::Counter& c = obs::registry().counter("spice.transients");
   return c;
@@ -38,17 +53,61 @@ obs::Counter& transient_rejected_counter() {
       obs::registry().counter("spice.transient_rejected_steps");
   return c;
 }
+obs::Counter& transient_retries_counter() {
+  static obs::Counter& c =
+      obs::registry().counter("spice.transient_retries");
+  return c;
+}
+obs::Counter& transient_be_fallback_counter() {
+  static obs::Counter& c =
+      obs::registry().counter("spice.transient_be_fallbacks");
+  return c;
+}
+
+std::string short_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3g", v);
+  return buf;
+}
 
 }  // namespace
 
-bool lu_solve(std::vector<double>& a, std::vector<double>& b,
-              std::size_t n) {
+std::string SolveDiagnostics::to_string() const {
+  std::string s = "path=" + (fallback_path.empty() ? "?" : fallback_path);
+  if (!failing_node.empty()) s += " node=" + failing_node;
+  s += " residual=" + short_double(worst_residual);
+  s += " iters=" + std::to_string(iterations);
+  s += " gmin=" + short_double(gmin_reached);
+  if (source_scale != 1.0) s += " scale=" + short_double(source_scale);
+  if (time > 0.0) s += " t=" + short_double(time);
+  if (near_singular) s += " near-singular";
+  return s;
+}
+
+SolveError::SolveError(const std::string& context,
+                       SolveDiagnostics diagnostics)
+    : std::runtime_error(context + " [" + diagnostics.to_string() + "]"),
+      diag_(std::move(diagnostics)) {}
+
+bool lu_solve(std::vector<double>& a, std::vector<double>& b, std::size_t n,
+              LuStats* stats) {
+  // Column scales from the matrix as given: the relative pivot test below
+  // catches ill-conditioned systems an absolute epsilon lets through.
+  std::vector<double> scale(n, 0.0);
+  for (std::size_t row = 0; row < n; ++row)
+    for (std::size_t col = 0; col < n; ++col)
+      scale[col] = std::max(scale[col], std::abs(a[row * n + col]));
+
+  double min_ratio = 1.0;
   for (std::size_t col = 0; col < n; ++col) {
     std::size_t pivot = col;
     for (std::size_t row = col + 1; row < n; ++row)
       if (std::abs(a[row * n + col]) > std::abs(a[pivot * n + col]))
         pivot = row;
-    if (std::abs(a[pivot * n + col]) < 1e-300) return false;
+    const double pivot_abs = std::abs(a[pivot * n + col]);
+    if (scale[col] <= 0.0 || pivot_abs < kLuSingularRatio * scale[col])
+      return false;
+    min_ratio = std::min(min_ratio, pivot_abs / scale[col]);
     if (pivot != col) {
       for (std::size_t k = 0; k < n; ++k)
         std::swap(a[col * n + k], a[pivot * n + k]);
@@ -62,6 +121,10 @@ bool lu_solve(std::vector<double>& a, std::vector<double>& b,
         a[row * n + k] -= f * a[col * n + k];
       b[row] -= f * b[col];
     }
+  }
+  if (stats != nullptr) {
+    stats->min_pivot_ratio = min_ratio;
+    stats->near_singular = min_ratio < kLuNearSingularRatio;
   }
   for (std::size_t i = n; i-- > 0;) {
     double acc = b[i];
@@ -109,9 +172,9 @@ Engine::Engine(const Circuit& circuit)
       n_sources_(circuit.vsources().size()),
       dim_(n_nodes_ + n_sources_) {}
 
-void Engine::build(const std::vector<double>& x_prev, double t,
-                   bool transient, double h,
-                   const std::vector<CapState>& caps, double gmin,
+void Engine::build(const std::vector<double>& x_prev,
+                   const SolveSetup& setup,
+                   const std::vector<CapState>& caps,
                    std::vector<double>& a, std::vector<double>& z) const {
   const std::size_t n = dim_;
   std::fill(a.begin(), a.end(), 0.0);
@@ -139,19 +202,33 @@ void Engine::build(const std::vector<double>& x_prev, double t,
     stamp_a(r(res.b), r(res.a), -g);
   }
 
-  if (transient) {
+  if (setup.transient) {
     for (std::size_t i = 0; i < circuit_.capacitors().size(); ++i) {
       const Capacitor& cap = circuit_.capacitors()[i];
       if (cap.farads <= 0.0) continue;
-      // Trapezoidal companion: i = geq*(v - v_old) - i_old.
-      const double geq = 2.0 * cap.farads / h;
-      const double ieq = -geq * caps[i].voltage - caps[i].current;
-      stamp_a(r(cap.a), r(cap.a), geq);
-      stamp_a(r(cap.b), r(cap.b), geq);
-      stamp_a(r(cap.a), r(cap.b), -geq);
-      stamp_a(r(cap.b), r(cap.a), -geq);
-      stamp_z(r(cap.a), -ieq);
-      stamp_z(r(cap.b), ieq);
+      if (setup.backward_euler) {
+        // BE companion: i = geq*(v - v_old). No history-current term, so
+        // a step after a violent transition starts NR closer to its
+        // solution than the ringing-prone trapezoidal companion.
+        const double geq = cap.farads / setup.h;
+        const double ieq = -geq * caps[i].voltage;
+        stamp_a(r(cap.a), r(cap.a), geq);
+        stamp_a(r(cap.b), r(cap.b), geq);
+        stamp_a(r(cap.a), r(cap.b), -geq);
+        stamp_a(r(cap.b), r(cap.a), -geq);
+        stamp_z(r(cap.a), -ieq);
+        stamp_z(r(cap.b), ieq);
+      } else {
+        // Trapezoidal companion: i = geq*(v - v_old) - i_old.
+        const double geq = 2.0 * cap.farads / setup.h;
+        const double ieq = -geq * caps[i].voltage - caps[i].current;
+        stamp_a(r(cap.a), r(cap.a), geq);
+        stamp_a(r(cap.b), r(cap.b), geq);
+        stamp_a(r(cap.a), r(cap.b), -geq);
+        stamp_a(r(cap.b), r(cap.a), -geq);
+        stamp_z(r(cap.a), -ieq);
+        stamp_z(r(cap.b), ieq);
+      }
     }
   }
 
@@ -176,31 +253,43 @@ void Engine::build(const std::vector<double>& x_prev, double t,
     const int row = static_cast<int>(n_nodes_ + k);
     stamp_a(row, r(src.pos), 1.0);
     stamp_a(row, r(src.neg), -1.0);
-    stamp_z(row, src.wave.value(t));
+    // source_scale is the continuation multiplier (1.0 outside the
+    // source-stepping fallback).
+    stamp_z(row, setup.source_scale * src.wave.value(setup.t));
     // Branch current column (current flows pos -> through source -> neg).
     stamp_a(r(src.pos), row, 1.0);
     stamp_a(r(src.neg), row, -1.0);
   }
 
   // gmin from every node to ground stabilizes floating regions.
-  for (std::size_t i = 0; i < n_nodes_; ++i) a[i * n + i] += gmin;
+  for (std::size_t i = 0; i < n_nodes_; ++i) a[i * n + i] += setup.gmin;
 }
 
-bool Engine::solve_nonlinear(std::vector<double>& x, double t, bool transient,
-                             double h, const std::vector<CapState>& caps,
-                             double gmin, const TranOptions& options) const {
+Engine::NrOutcome Engine::solve_nonlinear(std::vector<double>& x,
+                                          const SolveSetup& setup,
+                                          const std::vector<CapState>& caps,
+                                          const TranOptions& options) const {
   const std::size_t n = dim_;
   std::vector<double> a(n * n), z(n);
   std::vector<double> prev_dv(n_nodes_, 0.0);
-  const auto finish = [](int iters, bool converged) {
+  NrOutcome out;
+  const auto finish = [&](int iters, bool converged) {
     nr_iterations_counter().add(static_cast<std::uint64_t>(iters));
     if (!converged) nr_nonconverged_counter().add(1);
-    return converged;
+    if (out.near_singular) near_singular_counter().add(1);
+    out.iterations = iters;
+    out.converged = converged;
+    return out;
   };
   for (int iter = 0; iter < options.max_nr_iterations; ++iter) {
-    build(x, t, transient, h, caps, gmin, a, z);
+    build(x, setup, caps, a, z);
     std::vector<double> rhs = z;
-    if (!lu_solve(a, rhs, n)) return finish(iter + 1, false);
+    LuStats lu;
+    if (!lu_solve(a, rhs, n, &lu)) {
+      out.singular = true;
+      return finish(iter + 1, false);
+    }
+    out.near_singular |= lu.near_singular;
     // Voltage limiting: cap per-iteration node-voltage moves to keep the
     // linearization honest. The cap decays after a grace period and any
     // node whose update flips sign is damped, which breaks the limit
@@ -212,7 +301,10 @@ bool Engine::solve_nonlinear(std::vector<double>& x, double t, bool transient,
       double dv = clamp(rhs[i] - x[i], -limit, limit);
       if (dv * prev_dv[i] < 0.0) dv *= 0.5;
       prev_dv[i] = dv;
-      max_dv = std::max(max_dv, std::abs(dv));
+      if (std::abs(dv) > max_dv) {
+        max_dv = std::abs(dv);
+        out.worst_node = i;
+      }
       x[i] += dv;
     }
     for (std::size_t i = n_nodes_; i < n; ++i) {
@@ -220,40 +312,115 @@ bool Engine::solve_nonlinear(std::vector<double>& x, double t, bool transient,
       max_di = std::max(max_di, std::abs(di));
       x[i] = rhs[i];
     }
+    out.worst_dv = max_dv;
     if (max_dv < options.v_abstol && max_di < options.i_abstol)
       return finish(iter + 1, true);
   }
   return finish(options.max_nr_iterations, false);
 }
 
+SolveDiagnostics Engine::diagnose(const NrOutcome& out,
+                                  const SolveSetup& setup,
+                                  const std::string& fallback_path) const {
+  SolveDiagnostics d;
+  if (n_nodes_ > 0 && out.worst_node < n_nodes_)
+    d.failing_node =
+        circuit_.node_name(static_cast<NodeId>(out.worst_node + 1));
+  d.worst_residual = out.worst_dv;
+  d.iterations = out.iterations;
+  d.gmin_reached = setup.gmin;
+  d.source_scale = setup.source_scale;
+  d.time = setup.transient ? setup.t : 0.0;
+  d.near_singular = out.near_singular || out.singular;
+  d.fallback_path = fallback_path;
+  return d;
+}
+
 std::vector<double> Engine::dc_operating_point(double t) {
-  TranOptions options;
+  return dc_operating_point(t, TranOptions{});
+}
+
+std::vector<double> Engine::dc_operating_point(double t,
+                                               const TranOptions& options) {
   std::vector<double> x(dim_, 0.0);
   std::vector<CapState> caps;  // unused in DC
+  SolveSetup setup;
+  setup.t = t;
 
   // Direct attempt with tiny gmin.
   std::vector<double> x_try = x;
-  if (solve_nonlinear(x_try, t, false, 0.0, caps, 1e-12, options))
+  NrOutcome out = solve_nonlinear(x_try, setup, caps, options);
+  if (out.converged) {
+    last_diag_ = diagnose(out, setup, "direct");
     return x_try;
+  }
 
   // gmin stepping: solve with heavy damping conductance, then relax it.
+  // Failures early in the ladder are tolerated — the next (smaller) gmin
+  // still warm-starts from whatever the failed solve left behind.
   gmin_fallback_counter().add(1);
   x.assign(dim_, 0.0);
+  bool gmin_ok = true;
   for (double gmin = 1e-2; gmin >= 1e-13; gmin *= 0.1) {
-    if (!solve_nonlinear(x, t, false, 0.0, caps, gmin, options) &&
-        gmin < 1e-11)
-      throw std::runtime_error("dc_operating_point: gmin stepping failed");
+    setup.gmin = gmin;
+    out = solve_nonlinear(x, setup, caps, options);
+    if (!out.converged && gmin < 1e-11) {
+      gmin_ok = false;
+      break;
+    }
   }
-  return x;
+  if (gmin_ok) {
+    last_diag_ = diagnose(out, setup, "direct>gmin");
+    return x;
+  }
+
+  // Source-stepping continuation: ramp every source from 0 to its full
+  // value, warm-starting each solve from the previous scale. Near zero
+  // scale the circuit is essentially linear, and each increment moves the
+  // operating point a little, so NR stays inside its convergence basin.
+  // A failed increment is bisected down to 1/1024 of full scale.
+  source_step_fallback_counter().add(1);
+  setup.gmin = 1e-12;
+  x.assign(dim_, 0.0);
+  double scale = 0.0;
+  double step = 1.0 / 32.0;
+  std::vector<double> x_good = x;
+  while (scale < 1.0) {
+    setup.source_scale = std::min(scale + step, 1.0);
+    std::vector<double> x_next = x_good;
+    out = solve_nonlinear(x_next, setup, caps, options);
+    if (out.converged) {
+      scale = setup.source_scale;
+      x_good = std::move(x_next);
+      // Grow cautiously after a success so the ramp stays cheap.
+      step = std::min(step * 2.0, 1.0 / 16.0);
+      continue;
+    }
+    step *= 0.5;
+    if (step < 1.0 / 1024.0) {
+      solve_error_counter().add(1);
+      last_diag_ = diagnose(out, setup, "direct>gmin>source_step");
+      throw SolveError("dc_operating_point: source stepping failed",
+                       last_diag_);
+    }
+  }
+  last_diag_ = diagnose(out, setup, "direct>gmin>source_step");
+  return x_good;
 }
 
 std::vector<double> Engine::dc_operating_point_from(std::vector<double> x0,
                                                     double t) {
   TranOptions options;
   std::vector<CapState> caps;  // unused in DC
-  if (x0.size() == dim_ &&
-      solve_nonlinear(x0, t, false, 0.0, caps, 1e-12, options))
-    return x0;
+  SolveSetup setup;
+  setup.t = t;
+  if (x0.size() == dim_) {
+    const NrOutcome out = solve_nonlinear(x0, setup, caps, options);
+    if (out.converged) {
+      last_diag_ = diagnose(out, setup, "warm");
+      return x0;
+    }
+  }
   return dc_operating_point(t);
 }
 
@@ -267,7 +434,7 @@ TranResult Engine::transient(const TranOptions& options) {
     source_names[i] = circuit_.vsources()[i].name;
   TranResult result(std::move(node_names), std::move(source_names));
 
-  std::vector<double> x = dc_operating_point(0.0);
+  std::vector<double> x = dc_operating_point(0.0, options);
 
   // Capacitor states at t = 0: steady state, no current.
   const auto& cap_elems = circuit_.capacitors();
@@ -290,10 +457,12 @@ TranResult Engine::transient(const TranOptions& options) {
 
   // Step accounting, flushed to the registry in one batch per transient.
   transients_counter().add(1);
-  std::uint64_t accepted = 0, rejected = 0;
+  std::uint64_t accepted = 0, rejected = 0, retries = 0, be_fallbacks = 0;
   const auto flush_steps = [&] {
     transient_steps_counter().add(accepted);
     if (rejected > 0) transient_rejected_counter().add(rejected);
+    if (retries > 0) transient_retries_counter().add(retries);
+    if (be_fallbacks > 0) transient_be_fallback_counter().add(be_fallbacks);
   };
 
   while (t < options.t_stop - 1e-18) {
@@ -306,25 +475,56 @@ TranResult Engine::transient(const TranOptions& options) {
 
     // Warm-start Newton from the linear predictor; typically saves one to
     // two iterations per accepted step.
-    std::vector<double> x_new = x;
+    std::vector<double> x_pred = x;
     if (have_prev) {
       for (std::size_t i = 0; i < dim_; ++i)
-        x_new[i] = x[i] + (x[i] - x_prev2[i]) * (dt_eff / dt_prev);
+        x_pred[i] = x[i] + (x[i] - x_prev2[i]) * (dt_eff / dt_prev);
     }
-    const bool ok = solve_nonlinear(x_new, t + dt_eff, true, dt_eff, caps,
-                                    1e-12, options);
+
+    // Per-step retry ladder before shrinking the step: (0) the plain
+    // trapezoidal attempt, (1) the same step with a larger NR budget,
+    // (2) a backward-Euler step (damps the companion-current ringing that
+    // stalls NR right after a sharp edge). Only when all three fail is
+    // the timestep cut, and only dt underflow is a hard failure.
+    SolveSetup setup;
+    setup.transient = true;
+    setup.t = t + dt_eff;
+    setup.h = dt_eff;
+    std::vector<double> x_new;
+    NrOutcome out;
+    bool ok = false;
+    bool used_be = false;
+    for (int attempt = 0; attempt < 3 && !ok; ++attempt) {
+      if (attempt > 0) ++retries;
+      TranOptions ladder = options;
+      if (attempt >= 1) ladder.max_nr_iterations *= 2;
+      setup.backward_euler = attempt == 2;
+      if (attempt == 2) ++be_fallbacks;
+      x_new = x_pred;
+      out = solve_nonlinear(x_new, setup, caps, ladder);
+      ok = out.converged;
+    }
+    used_be = ok && setup.backward_euler;
     if (!ok) {
       ++rejected;
       dt = dt_eff / 4.0;
       if (dt < options.dt_min) {
         flush_steps();
-        throw std::runtime_error("transient: timestep underflow (NR)");
+        solve_error_counter().add(1);
+        last_diag_ =
+            diagnose(out, setup, "transient:retry>be>dt_underflow");
+        throw SolveError("transient: timestep underflow", last_diag_);
       }
       continue;
     }
+    last_diag_ = diagnose(out, setup,
+                          used_be ? "transient:retry>be" : "transient");
 
     // Local-error estimate: deviation from the linear predictor based on
-    // the last accepted step. Large deviation => halve the step.
+    // the last accepted step. Large deviation => halve the step. A step
+    // the ladder rescued with backward Euler is exempt from rejection
+    // (it was already the emergency path; halving re-enters the ladder
+    // with no new information), but never grows the next step.
     if (have_prev) {
       double err = 0.0;
       for (std::size_t i = 0; i < n_nodes_; ++i) {
@@ -332,25 +532,34 @@ TranResult Engine::transient(const TranOptions& options) {
         const double pred = x[i] + slope * dt_eff;
         err = std::max(err, std::abs(x_new[i] - pred));
       }
-      if (err > options.lte_tol * 50.0 && dt_eff > options.dt_min * 16.0) {
+      if (!used_be && err > options.lte_tol * 50.0 &&
+          dt_eff > options.dt_min * 16.0) {
         ++rejected;
         dt = dt_eff / 2.0;
         continue;
       }
-      if (err < options.lte_tol * 5.0) {
+      if (used_be) {
+        dt = dt_eff;
+      } else if (err < options.lte_tol * 5.0) {
         dt = std::min(dt_eff * 1.5, options.dt_max);
       } else {
         dt = dt_eff;
       }
     }
 
-    // Accept the step: update capacitor companion states.
+    // Accept the step: update capacitor companion states with the same
+    // integration method the converged solve used.
     for (std::size_t i = 0; i < cap_elems.size(); ++i) {
       if (cap_elems[i].farads <= 0.0) continue;
       const double v_new =
           vnode(x_new, cap_elems[i].a) - vnode(x_new, cap_elems[i].b);
-      const double geq = 2.0 * cap_elems[i].farads / dt_eff;
-      caps[i].current = geq * (v_new - caps[i].voltage) - caps[i].current;
+      if (used_be) {
+        const double geq = cap_elems[i].farads / dt_eff;
+        caps[i].current = geq * (v_new - caps[i].voltage);
+      } else {
+        const double geq = 2.0 * cap_elems[i].farads / dt_eff;
+        caps[i].current = geq * (v_new - caps[i].voltage) - caps[i].current;
+      }
       caps[i].voltage = v_new;
     }
     x_prev2 = x;

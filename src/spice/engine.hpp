@@ -1,11 +1,14 @@
 // Modified-nodal-analysis engine: Newton-Raphson DC operating point with
-// gmin stepping, and adaptive trapezoidal transient analysis.
+// gmin stepping and source-stepping continuation, and adaptive trapezoidal
+// transient analysis with a per-step retry ladder (NR budget boost ->
+// backward-Euler step -> timestep reduction).
 //
 // Cells characterized here are small (tens of nodes), so the linear solves
 // use dense LU with partial pivoting; a full SoC is never simulated at the
 // transistor level (that is what the gate-level STA/power tools are for).
 #pragma once
 
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -21,6 +24,36 @@ struct TranOptions {
   double i_abstol = 1e-9;     // NR current convergence [A]
   double lte_tol = 1e-4;      // local-error acceptance threshold [V]
   int max_nr_iterations = 60;
+};
+
+// Structured account of how a solve went: which node was worst, how hard
+// the fallback ladder had to work, and where it gave up. Attached to every
+// SolveError so an unattended characterization farm can log *why* an arc
+// failed instead of a bare string, and filled for successful solves too
+// (Engine::last_diagnostics).
+struct SolveDiagnostics {
+  std::string failing_node;    // node with the worst NR update (may be empty)
+  double worst_residual = 0.0; // worst node update at the last NR pass [V]
+  int iterations = 0;          // NR iterations of the decisive solve
+  double gmin_reached = 0.0;   // gmin in effect when the solve ended
+  double source_scale = 1.0;   // continuation scale when the solve ended
+  double time = 0.0;           // transient time of the failure (0 for DC)
+  bool near_singular = false;  // LU saw a pivot near the relative threshold
+  std::string fallback_path;   // e.g. "direct>gmin>source_step"
+
+  // One-line human rendering for logs and exception messages.
+  std::string to_string() const;
+};
+
+// Convergence failure with the full diagnostics attached. what() includes
+// the rendered diagnostics so existing catch sites lose nothing.
+class SolveError : public std::runtime_error {
+ public:
+  SolveError(const std::string& context, SolveDiagnostics diagnostics);
+  const SolveDiagnostics& diagnostics() const { return diag_; }
+
+ private:
+  SolveDiagnostics diag_;
 };
 
 // Result of a transient run: node voltages and source branch currents
@@ -63,21 +96,32 @@ class Engine {
   explicit Engine(const Circuit& circuit);
 
   // Newton-Raphson DC operating point with sources evaluated at time t.
-  // Falls back to gmin stepping on convergence failure; throws
-  // std::runtime_error if even that fails.
+  // Convergence ladder: direct solve -> gmin stepping -> source-stepping
+  // continuation (all sources ramped from 0 to full value, each solve
+  // warm-started from the previous scale). Throws SolveError when even
+  // the full ladder fails. The options overload lets callers tighten or
+  // relax the NR budget/tolerances.
   std::vector<double> dc_operating_point(double t = 0.0);
+  std::vector<double> dc_operating_point(double t,
+                                         const TranOptions& options);
 
   // DC operating point solved from an explicit initial state (e.g. a
   // transient's final_state()). Circuits with multiple stable states —
   // keeper loops in sequential cells — converge to the solution *near*
   // the warm start rather than the metastable point a cold solve can
-  // settle at. Falls back to the cold solve if NR diverges.
+  // settle at. Falls back to the cold solve (full ladder) if NR diverges.
   std::vector<double> dc_operating_point_from(std::vector<double> x0,
                                               double t);
 
   // Adaptive-step trapezoidal transient starting from the DC operating
-  // point at t = 0.
+  // point at t = 0. A non-convergent step walks a retry ladder (larger NR
+  // budget, then a backward-Euler step, then a reduced timestep) before
+  // SolveError is thrown on timestep underflow.
   TranResult transient(const TranOptions& options);
+
+  // Diagnostics of the most recent top-level solve on this engine (DC or
+  // the last transient step), successful or not.
+  const SolveDiagnostics& last_diagnostics() const { return last_diag_; }
 
  private:
   struct CapState {
@@ -85,25 +129,71 @@ class Engine {
     double current = 0.0;  // companion current at last accepted step
   };
 
-  // Builds the linearized MNA system A x = z around x_prev. In transient
-  // mode capacitors contribute trapezoidal companions with step h.
-  void build(const std::vector<double>& x_prev, double t, bool transient,
-             double h, const std::vector<CapState>& caps, double gmin,
-             std::vector<double>& a, std::vector<double>& z) const;
+  // Per-solve configuration threaded through build/solve_nonlinear:
+  // continuation scale multiplies every source value; backward_euler
+  // selects BE companions over trapezoidal ones for this step.
+  struct SolveSetup {
+    double t = 0.0;
+    bool transient = false;
+    double h = 0.0;
+    double gmin = 1e-12;
+    double source_scale = 1.0;
+    bool backward_euler = false;
+  };
 
-  // Solves the NR loop at time t; returns true on convergence, x in/out.
-  bool solve_nonlinear(std::vector<double>& x, double t, bool transient,
-                       double h, const std::vector<CapState>& caps,
-                       double gmin, const TranOptions& options) const;
+  // Outcome of one NR solve, kept structured so the fallback ladder can
+  // fill SolveDiagnostics without re-deriving anything.
+  struct NrOutcome {
+    bool converged = false;
+    int iterations = 0;
+    double worst_dv = 0.0;       // node update magnitude at the last pass
+    std::size_t worst_node = 0;  // 0-based index of that node
+    bool singular = false;       // LU refused the system outright
+    bool near_singular = false;  // LU flagged an ill-conditioned pivot
+  };
+
+  // Builds the linearized MNA system A x = z around x_prev.
+  void build(const std::vector<double>& x_prev, const SolveSetup& setup,
+             const std::vector<CapState>& caps, std::vector<double>& a,
+             std::vector<double>& z) const;
+
+  // Solves the NR loop; x in/out.
+  NrOutcome solve_nonlinear(std::vector<double>& x, const SolveSetup& setup,
+                            const std::vector<CapState>& caps,
+                            const TranOptions& options) const;
+
+  // Renders an NrOutcome into diagnostics (node names resolved).
+  SolveDiagnostics diagnose(const NrOutcome& out, const SolveSetup& setup,
+                            const std::string& fallback_path) const;
 
   const Circuit& circuit_;
   std::size_t n_nodes_;
   std::size_t n_sources_;
   std::size_t dim_;
+  SolveDiagnostics last_diag_;
 };
 
+// Conditioning report from one LU factorization.
+struct LuStats {
+  // Smallest |pivot| / column-scale ratio seen across all elimination
+  // columns; the column scale is the largest |entry| of the original
+  // column, so the ratio is 1.0 for a well-scaled diagonal system.
+  double min_pivot_ratio = 1.0;
+  bool near_singular = false;  // ratio dipped below kLuNearSingularRatio
+};
+
+// Pivot acceptance thresholds, relative to each column's scale. Below
+// kLuSingularRatio the factorization is rejected; between the two the
+// system is solved but flagged near-singular (NR on such a system tends
+// to oscillate, which the caller's diagnostics should mention).
+inline constexpr double kLuSingularRatio = 1e-13;
+inline constexpr double kLuNearSingularRatio = 1e-8;
+
 // Dense LU solve with partial pivoting: solves a*x = b, a is n x n
-// row-major (destroyed). Returns false if singular.
-bool lu_solve(std::vector<double>& a, std::vector<double>& b, std::size_t n);
+// row-major (destroyed). Returns false if singular (pivot below
+// kLuSingularRatio of its column scale). `stats`, when given, reports
+// conditioning even on success.
+bool lu_solve(std::vector<double>& a, std::vector<double>& b, std::size_t n,
+              LuStats* stats = nullptr);
 
 }  // namespace cryo::spice

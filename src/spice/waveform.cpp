@@ -67,11 +67,15 @@ double Trace::at(double t) const {
 }
 
 double Trace::cross(double level, bool rising, double after) const {
+  // Half-open interval semantics: a sample sitting exactly on the level
+  // counts as the crossing entry point, so fast-slew traces whose first
+  // sample lands on the threshold are not silently skipped. The segment
+  // must still move in the requested direction (v1 != v0 guaranteed).
   for (std::size_t i = 1; i < time.size(); ++i) {
     if (time[i] < after) continue;
     const double v0 = value[i - 1], v1 = value[i];
-    const bool hit = rising ? (v0 < level && v1 >= level)
-                            : (v0 > level && v1 <= level);
+    const bool hit = rising ? (v0 <= level && v1 >= level && v1 > v0)
+                            : (v0 >= level && v1 <= level && v1 < v0);
     if (hit) {
       const double f = (level - v0) / (v1 - v0);
       return time[i - 1] + f * (time[i] - time[i - 1]);

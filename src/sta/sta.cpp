@@ -173,12 +173,18 @@ TimingReport StaEngine::run() const {
         worst_slew =
             std::max(worst_slew, arc.output_slew.lookup(slew[ii], load));
       }
-      if (best <= kNegInf / 2) continue;  // inputs all unconstrained
-      arrival[yi] = best;
-      min_arrival[yi] = best_min;
-      slew[yi] = worst_slew;
-      from_gate[yi] = static_cast<int>(gi);
-      from_net[yi] = best_from;
+      // With every input unconstrained (a dangling cone) the output stays
+      // unconstrained too, but its sinks must still be released — they pop
+      // with -inf inputs and propagate the unconstrained state onward.
+      // Skipping the release here would starve the ready queue and turn a
+      // dangling cone into a spurious "combinational loop" report.
+      if (best > kNegInf / 2) {
+        arrival[yi] = best;
+        min_arrival[yi] = best_min;
+        slew[yi] = worst_slew;
+        from_gate[yi] = static_cast<int>(gi);
+        from_net[yi] = best_from;
+      }
       // Release sinks.
       for (const auto& sink : sinks_[yi]) {
         if (sink.gate < 0) continue;
@@ -214,9 +220,11 @@ TimingReport StaEngine::run() const {
       worst_net = net;
       worst_endpoint = endpoint;
     }
-    if (min_arrival[i] < kPosInf / 2)
+    if (min_arrival[i] < kPosInf / 2) {
+      report.has_hold_endpoints = true;
       report.worst_hold_slack =
           std::min(report.worst_hold_slack, min_arrival[i] - hold);
+    }
   };
 
   for (const auto& gate : nl_.gates()) {
@@ -240,6 +248,7 @@ TimingReport StaEngine::run() const {
   report.critical_delay = worst;
   report.fmax = 1.0 / (worst + opt_.clock_uncertainty);
   report.critical_endpoint = worst_endpoint;
+  if (!report.has_hold_endpoints) report.worst_hold_slack = 0.0;
 
   // Trace the critical path back to its launch point.
   netlist::NetId cur = worst_net;

@@ -37,7 +37,11 @@ struct PathStep {
 struct TimingReport {
   double critical_delay = 0.0;   // worst launch->capture delay + setup [s]
   double fmax = 0.0;             // 1 / (critical_delay + uncertainty) [Hz]
-  double worst_hold_slack = 0.0; // min path delay - hold requirement [s]
+  // Min path delay minus hold requirement [s]. Only meaningful when
+  // has_hold_endpoints is true; otherwise normalized to 0.0 so the +1e30
+  // sentinel never leaks into reports or bench JSON.
+  double worst_hold_slack = 0.0;
+  bool has_hold_endpoints = false;
   std::vector<PathStep> critical_path;
   std::size_t endpoint_count = 0;
   std::string critical_endpoint;

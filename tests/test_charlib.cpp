@@ -3,6 +3,7 @@
 #include "charlib/characterizer.hpp"
 #include "device/modelcard.hpp"
 #include "liberty/liberty.hpp"
+#include "obs/metrics.hpp"
 
 namespace cryo::charlib {
 namespace {
@@ -154,6 +155,47 @@ TEST(Characterizer, LibraryMetadata) {
   // SLVT leaks more than LVT (lower threshold).
   EXPECT_GT(lib.at("INV_X1_SLVT").leakage_avg,
             lib.at("INV_X1").leakage_avg);
+}
+
+TEST(Characterizer, HostileArcIsQuarantinedNotFatal) {
+  // A cell whose arc measures a floating node can never settle: the arc
+  // must be retried relaxed, then quarantined — recorded in failed_arcs
+  // and the library quarantine list — without killing the run or the
+  // healthy cells characterized alongside it.
+  CharOptions opt;
+  opt.temperature = 300.0;
+  opt.slews = {8e-12};
+  opt.loads = {2e-15};
+  opt.characterize_setup_hold = false;
+
+  cells::CellDef broken = cells::make_cell("INV", 1, cells::VtFlavor::kLvt);
+  broken.name = "INV_BROKEN";
+  broken.arcs.resize(1);
+  broken.arcs[0].output = "Z";  // only the load cap touches Z: never settles
+  broken.arcs[0].input_rise = true;
+  broken.arcs[0].output_rise = false;
+
+  auto& retries = obs::registry().counter("charlib.arc_retries");
+  auto& failed = obs::registry().counter("charlib.failed_arcs");
+  const auto retries0 = retries.value();
+  const auto failed0 = failed.value();
+
+  const std::vector<cells::CellDef> defs = {
+      cells::make_cell("INV", 1, cells::VtFlavor::kLvt), broken};
+  Characterizer ch(device::golden_nmos(), device::golden_pmos(), opt);
+  const Library lib = ch.characterize_all(defs, "hostile");
+
+  // The run completed; exactly the broken arc is quarantined.
+  ASSERT_EQ(lib.cells.size(), 2u);
+  EXPECT_EQ(lib.cells[0].failed_arcs.size(), 0u);
+  EXPECT_EQ(lib.cells[0].arcs.size(), 2u);
+  ASSERT_EQ(lib.cells[1].failed_arcs.size(), 1u);
+  EXPECT_EQ(lib.cells[1].failed_arcs[0], "INV_BROKEN:A_rise->Z_fall");
+  EXPECT_TRUE(lib.cells[1].arcs.empty());
+  ASSERT_EQ(lib.quarantined_arcs.size(), 1u);
+  EXPECT_EQ(lib.quarantined_arcs[0], lib.cells[1].failed_arcs[0]);
+  EXPECT_EQ(failed.value() - failed0, 1u);
+  EXPECT_GE(retries.value() - retries0, 1u);
 }
 
 TEST(Characterizer, ParallelLibraryIsByteIdenticalToSerial) {

@@ -11,6 +11,7 @@
 #include "core/artifacts.hpp"
 #include "core/flow.hpp"
 #include "liberty/liberty.hpp"
+#include "obs/metrics.hpp"
 
 namespace cryo::core {
 namespace {
@@ -251,6 +252,69 @@ TEST(ArtifactStore, ReusesFreshAndRegeneratesStale) {
   fs::remove(liberty::manifest_path(lib_path.string()));
   CryoSocFlow fourth(shifted);
   EXPECT_EQ(fourth.library(300.0).name, "cryo5_300k");
+  fs::remove_all(dir);
+}
+
+TEST(ArtifactStore, QuarantinedLibraryIsNeverReused) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::path(::testing::TempDir()) / "cryosoc_quarantine";
+  fs::remove_all(dir);
+
+  // One healthy INV plus a hostile cell whose only arc measures a node
+  // that nothing drives: that arc cannot converge and must be quarantined.
+  cells::CellDef broken = cells::make_cell("INV", 1, cells::VtFlavor::kLvt);
+  broken.name = "INV_BROKEN";
+  broken.arcs.resize(1);
+  broken.arcs[0].output = "Z";
+  broken.arcs[0].input_rise = true;
+  broken.arcs[0].output_rise = false;
+
+  FlowConfig config;
+  config.calibrate_devices = false;
+  config.lib_dir = dir.string();
+  config.cells_override = {
+      {cells::make_cell("INV", 1, cells::VtFlavor::kLvt), broken}};
+
+  // The run completes despite the hostile arc: exactly that arc is
+  // quarantined, the rest of the library is intact.
+  CryoSocFlow first(config);
+  const auto& lib = first.library(300.0);
+  ASSERT_EQ(lib.cells.size(), 2u);
+  ASSERT_EQ(lib.quarantined_arcs.size(), 1u);
+  EXPECT_EQ(lib.quarantined_arcs[0], "INV_BROKEN:A_rise->Z_fall");
+  EXPECT_EQ(lib.cells[0].arcs.size(), 2u);
+
+  // The written manifest records the quarantine ...
+  const fs::path lib_path = dir / "cryo5_300k.lib";
+  ASSERT_TRUE(fs::exists(lib_path));
+  const auto manifest = liberty::read_manifest(lib_path.string());
+  ASSERT_TRUE(manifest.has_value());
+  ASSERT_EQ(manifest->quarantined.size(), 1u);
+  EXPECT_EQ(manifest->quarantined[0], "INV_BROKEN:A_rise->Z_fall");
+
+  // ... which makes the artifact permanently stale under its own key.
+  const auto key = library_artifact_key(
+      device::golden_nmos(), device::golden_pmos(), config.catalog, 0.7,
+      300.0, kCharacterizerVersion, &*config.cells_override);
+  EXPECT_FALSE(artifact_fresh(lib_path.string(), key));
+
+  // A second flow must re-characterize instead of trusting the degraded
+  // artifact (a library loaded from disk never carries a quarantine list,
+  // so its presence proves a fresh characterization ran).
+  auto& regenerated = obs::registry().counter("artifacts.regenerated");
+  const auto regen0 = regenerated.value();
+  CryoSocFlow second(config);
+  const auto& lib2 = second.library(300.0);
+  EXPECT_EQ(regenerated.value() - regen0, 1u);
+  ASSERT_EQ(lib2.quarantined_arcs.size(), 1u);
+
+  // Overriding the cell list perturbs the artifact key, so hostile runs
+  // can never collide with catalog artifacts.
+  EXPECT_NE(key.fingerprint,
+            library_artifact_key(device::golden_nmos(), device::golden_pmos(),
+                                 config.catalog, 0.7, 300.0,
+                                 kCharacterizerVersion)
+                .fingerprint);
   fs::remove_all(dir);
 }
 

@@ -45,6 +45,30 @@ TEST(Trace, CrossAndTransition) {
   EXPECT_NEAR(t.integral(), 1.5, 1e-12);
 }
 
+TEST(Trace, CrossHandlesExactThresholdSample) {
+  // A fast-slew trace whose first sample sits exactly on the 10 % level:
+  // the half-open crossing semantics must report t = 0, not miss it (the
+  // old strict predicate returned -1 and transition_time broke).
+  Trace t;
+  t.time = {0.0, 1.0, 2.0};
+  t.value = {0.1, 0.5, 0.9};
+  EXPECT_NEAR(t.cross(0.1, true), 0.0, 1e-12);
+  EXPECT_NEAR(t.cross(0.9, true), 2.0, 1e-12);
+  EXPECT_NEAR(t.transition_time(0.0, 1.0, 0.1, 0.9), 2.0, 1e-12);
+  // Falling direction, exact landing on the level.
+  Trace f;
+  f.time = {0.0, 1.0, 2.0};
+  f.value = {0.9, 0.5, 0.1};
+  EXPECT_NEAR(f.cross(0.9, false), 0.0, 1e-12);
+  EXPECT_NEAR(f.cross(0.1, false), 2.0, 1e-12);
+  // A flat trace pinned at the level never "crosses" it.
+  Trace flat;
+  flat.time = {0.0, 1.0};
+  flat.value = {0.5, 0.5};
+  EXPECT_LT(flat.cross(0.5, true), 0.0);
+  EXPECT_LT(flat.cross(0.5, false), 0.0);
+}
+
 TEST(LuSolve, KnownSystem) {
   // [2 1; 1 3] x = [5; 10] -> x = [1; 3]
   std::vector<double> a = {2, 1, 1, 3};

@@ -1,0 +1,276 @@
+// Golden-value regression net for the SPICE engine: every case has a
+// closed-form (or independently computed) answer and a tight tolerance,
+// so a solver change that shifts results is caught here by tier-1 rather
+// than by a downstream Liberty artifact diff. Also pins down the
+// convergence fallback ladder: a hostile circuit that defeats plain NR
+// and gmin stepping must converge via source stepping, deterministically
+// at any thread count, and a starved transient must recover through the
+// retry / backward-Euler rungs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "device/finfet.hpp"
+#include "device/modelcard.hpp"
+#include "exec/exec.hpp"
+#include "obs/metrics.hpp"
+#include "spice/engine.hpp"
+
+namespace cryo::spice {
+namespace {
+
+obs::Counter& counter(const char* name) {
+  return obs::registry().counter(name);
+}
+
+TEST(Golden, ResistorDividerDc) {
+  // 1 V across 1k + 3k + 6k: taps at 0.9 V and 0.6 V, current 0.1 mA.
+  Circuit c;
+  c.add_vsource("v1", "in", "0", Waveform::dc(1.0));
+  c.add_resistor("in", "a", 1000.0);
+  c.add_resistor("a", "b", 3000.0);
+  c.add_resistor("b", "0", 6000.0);
+  Engine engine(c);
+  const auto x = engine.dc_operating_point();
+  // The engine ties every node to ground through gmin = 1e-12 S, which
+  // shifts the ideal answer by a few nanovolts; the tolerance sits just
+  // above that floor and far below the 0.1 % acceptance bar.
+  EXPECT_NEAR(x[c.node("a") - 1], 0.9, 1e-8);
+  EXPECT_NEAR(x[c.node("b") - 1], 0.6, 1e-8);
+  EXPECT_NEAR(x[c.node_count()], -1e-4, 1e-11);
+  EXPECT_EQ(engine.last_diagnostics().fallback_path, "direct");
+}
+
+TEST(Golden, RcChargeTransient) {
+  // Near-step into R*C = 1 ns; v(t) = 1 - exp(-t/tau), checked to 0.1 %
+  // of the swing at several points along the curve.
+  Circuit c;
+  c.add_vsource("v1", "in", "0", Waveform::ramp(0.0, 1.0, 0.0, 1e-15));
+  c.add_resistor("in", "out", 1000.0);
+  c.add_capacitor("out", "0", 1e-12);
+  Engine engine(c);
+  TranOptions opt;
+  opt.t_stop = 3e-9;
+  opt.dt_max = 2e-12;
+  const auto result = engine.transient(opt);
+  const auto out = result.node("out");
+  for (double t : {0.2e-9, 0.5e-9, 1e-9, 2e-9, 3e-9}) {
+    const double expected = 1.0 - std::exp(-t / 1e-9);
+    EXPECT_NEAR(out.at(t), expected, 1e-3) << "t=" << t;
+  }
+}
+
+TEST(Golden, RcDischargeTransient) {
+  // The DC solve at t=0 charges the cap to 1 V (source still high); the
+  // source then drops and v(t) = exp(-t/tau).
+  Circuit c;
+  c.add_vsource("v1", "in", "0", Waveform::ramp(1.0, 0.0, 0.0, 1e-15));
+  c.add_resistor("in", "out", 1000.0);
+  c.add_capacitor("out", "0", 1e-12);
+  Engine engine(c);
+  TranOptions opt;
+  opt.t_stop = 3e-9;
+  opt.dt_max = 2e-12;
+  const auto result = engine.transient(opt);
+  const auto out = result.node("out");
+  for (double t : {0.2e-9, 0.5e-9, 1e-9, 2e-9, 3e-9}) {
+    const double expected = std::exp(-t / 1e-9);
+    EXPECT_NEAR(out.at(t), expected, 1e-3) << "t=" << t;
+  }
+}
+
+// Diode-connected FET (gate tied to drain) fed from vdd through R. The
+// engine's answer must match a scalar bisection on the same device model:
+// f(v) = Id(v, v) - (vdd - v) / R has exactly one root in [0, vdd].
+class DiodeFetGolden : public ::testing::TestWithParam<double> {};
+
+TEST_P(DiodeFetGolden, OperatingPointMatchesBisection) {
+  const double temperature = GetParam();
+  const double vdd = 0.7;
+  const double r = 5000.0;
+  device::ModelCard card = device::golden_nmos();
+  card.NFIN = 4;
+  const device::FinFet fet(card, temperature);
+
+  double lo = 0.0, hi = vdd;
+  for (int i = 0; i < 60; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const double f = fet.drain_current(mid, mid) - (vdd - mid) / r;
+    (f > 0.0 ? hi : lo) = mid;
+  }
+  const double v_ref = 0.5 * (lo + hi);
+
+  Circuit c;
+  c.add_vsource("vdd", "vdd", "0", Waveform::dc(vdd));
+  c.add_resistor("vdd", "d", r);
+  c.add_mosfet("m1", "d", "d", "0", device::FinFet(card, temperature));
+  Engine engine(c);
+  const auto x = engine.dc_operating_point();
+  // 0.1 % of the supply range.
+  EXPECT_NEAR(x[c.node("d") - 1], v_ref, 0.7e-3) << "T=" << temperature;
+}
+
+INSTANTIATE_TEST_SUITE_P(Temperatures, DiodeFetGolden,
+                         ::testing::Values(300.0, 10.0));
+
+// Hostile DC case: a 30 V rail (far beyond what the NR voltage limiter
+// can cover in a starved iteration budget) dividing down to a ~0.7 V
+// local supply that powers a cross-coupled pair, plus a floating gate
+// node. Plain NR and the gmin ladder both run out of budget; the
+// source-stepping continuation walks the rail up and converges.
+Circuit hostile_circuit() {
+  device::ModelCard n = device::golden_nmos();
+  n.NFIN = 4;
+  device::ModelCard p = device::golden_pmos();
+  p.NFIN = 6;
+  Circuit c;
+  c.add_vsource("vhv", "hv", "0", Waveform::dc(30.0));
+  c.add_resistor("hv", "vddl", 42000.0);
+  c.add_resistor("vddl", "0", 1000.0);
+  c.add_mosfet("mp1", "q", "qb", "vddl", device::FinFet(p, 300.0));
+  c.add_mosfet("mn1", "q", "qb", "0", device::FinFet(n, 300.0));
+  c.add_mosfet("mp2", "qb", "q", "vddl", device::FinFet(p, 300.0));
+  c.add_mosfet("mn2", "qb", "q", "0", device::FinFet(n, 300.0));
+  // Gate node with no driver at all: only gmin references it.
+  c.add_mosfet("mf", "q", "float_g", "0", device::FinFet(n, 300.0));
+  return c;
+}
+
+TEST(FallbackLadder, HostileDcConvergesViaSourceStepping) {
+  auto& source_steps = counter("spice.source_step_fallbacks");
+  auto& gmin_steps = counter("spice.gmin_fallbacks");
+  const auto ss0 = source_steps.value();
+  const auto gm0 = gmin_steps.value();
+
+  Circuit c = hostile_circuit();
+  Engine engine(c);
+  TranOptions opt;
+  opt.max_nr_iterations = 4;  // starves direct NR and the gmin ladder
+  const auto x = engine.dc_operating_point(0.0, opt);
+
+  EXPECT_EQ(engine.last_diagnostics().fallback_path,
+            "direct>gmin>source_step");
+  EXPECT_GE(source_steps.value(), ss0 + 1);
+  EXPECT_GE(gmin_steps.value(), gm0 + 1);
+  // Rails must be physical: full 30 V at the source, divider at
+  // 30 * 1k / 43k minus the latch's supply draw, latch resolved.
+  EXPECT_NEAR(x[c.node("hv") - 1], 30.0, 1e-3);
+  EXPECT_NEAR(x[c.node("vddl") - 1], 0.6976, 0.02);
+  const double q = x[c.node("q") - 1];
+  const double qb = x[c.node("qb") - 1];
+  EXPECT_LT(std::min(q, qb), 0.05);
+  EXPECT_GT(std::max(q, qb), 0.6);
+  EXPECT_NEAR(x[c.node("float_g") - 1], 0.0, 1e-9);
+}
+
+TEST(FallbackLadder, SourceSteppingIsByteIdenticalAcrossThreads) {
+  // The ladder must be bit-deterministic: solving the same hostile
+  // circuit on 1 thread and on N threads yields identical doubles.
+  const auto solve_all = [](int threads) {
+    std::vector<std::vector<double>> results(4);
+    exec::parallel_for(
+        results.size(),
+        [&](std::size_t i) {
+          Circuit c = hostile_circuit();
+          Engine engine(c);
+          TranOptions opt;
+          opt.max_nr_iterations = 4;
+          results[i] = engine.dc_operating_point(0.0, opt);
+        },
+        threads);
+    return results;
+  };
+  const auto serial = solve_all(1);
+  const auto parallel = solve_all(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(serial[i].size(), parallel[i].size());
+    for (std::size_t k = 0; k < serial[i].size(); ++k)
+      EXPECT_EQ(serial[i][k], parallel[i][k]) << "solve " << i << " x" << k;
+    // All solves of the same circuit are identical, too.
+    EXPECT_EQ(serial[i], serial[0]);
+  }
+}
+
+TEST(FallbackLadder, StarvedTransientRecoversThroughRetriesAndBe) {
+  // A sharp edge into a big load with an absurdly small NR budget: steps
+  // on the edge fail the plain attempt and walk the ladder (boosted
+  // budget, then backward Euler). The output must still switch cleanly.
+  auto& retries = counter("spice.transient_retries");
+  auto& be_steps = counter("spice.transient_be_fallbacks");
+  const auto tr0 = retries.value();
+  const auto be0 = be_steps.value();
+
+  device::ModelCard n = device::golden_nmos();
+  n.NFIN = 8;
+  device::ModelCard p = device::golden_pmos();
+  p.NFIN = 12;
+  Circuit c;
+  c.add_vsource("vdd", "vdd", "0", Waveform::dc(0.7));
+  c.add_vsource("vin", "in", "0", Waveform::ramp(0.0, 0.7, 50e-12, 1e-12));
+  c.add_mosfet("mp", "out", "in", "vdd", device::FinFet(p, 300.0));
+  c.add_mosfet("mn", "out", "in", "0", device::FinFet(n, 300.0));
+  c.add_capacitor("out", "0", 50e-15);
+  Engine engine(c);
+  TranOptions opt;
+  opt.t_stop = 400e-12;
+  opt.dt_max = 5e-12;
+  opt.max_nr_iterations = 2;
+  const auto result = engine.transient(opt);
+
+  EXPECT_GT(retries.value(), tr0);
+  EXPECT_GT(be_steps.value(), be0);
+  const auto out = result.node("out");
+  EXPECT_GT(out.value.front(), 0.69);  // input low -> output high
+  EXPECT_LT(out.value.back(), 0.01);   // input high -> output low
+}
+
+TEST(SolveError, CarriesStructuredDiagnostics) {
+  // Two FETs fighting across a 30 V rail with a 1-iteration budget: the
+  // whole ladder fails and the thrown SolveError must carry the full
+  // structured account of the final attempt.
+  Circuit c = hostile_circuit();
+  Engine engine(c);
+  TranOptions opt;
+  opt.max_nr_iterations = 1;
+  try {
+    engine.dc_operating_point(0.0, opt);
+    FAIL() << "expected SolveError";
+  } catch (const SolveError& err) {
+    const SolveDiagnostics& d = err.diagnostics();
+    EXPECT_EQ(d.fallback_path, "direct>gmin>source_step");
+    EXPECT_FALSE(d.failing_node.empty());
+    EXPECT_GT(d.worst_residual, 0.0);
+    EXPECT_EQ(d.iterations, 1);
+    EXPECT_GT(d.source_scale, 0.0);
+    // what() embeds the rendered diagnostics for legacy catch sites.
+    EXPECT_NE(std::string(err.what()).find("source_step"),
+              std::string::npos);
+  }
+}
+
+TEST(LuSolve, RejectsIllConditionedRelative) {
+  // Scaled near-singular system: every entry is far above the old 1e-300
+  // absolute floor, but the second pivot collapses relative to its
+  // column. The relative test must refuse it.
+  std::vector<double> a = {1e-6, 2e-6, 2e-6, 4e-6 + 1e-22};
+  std::vector<double> b = {1e-6, 2e-6};
+  EXPECT_FALSE(lu_solve(a, b, 2));
+}
+
+TEST(LuSolve, ReportsNearSingularPivot) {
+  // Pivot ratio ~1e-10 sits between the reject (1e-13) and the warn
+  // (1e-8) thresholds: solved, but flagged.
+  std::vector<double> a = {1.0, 1.0, 1.0, 1.0 + 1e-10};
+  std::vector<double> b = {2.0, 2.0 + 1e-10};
+  LuStats stats;
+  ASSERT_TRUE(lu_solve(a, b, 2, &stats));
+  EXPECT_TRUE(stats.near_singular);
+  EXPECT_LT(stats.min_pivot_ratio, kLuNearSingularRatio);
+  EXPECT_NEAR(b[0], 1.0, 1e-3);
+  EXPECT_NEAR(b[1], 1.0, 1e-3);
+}
+
+}  // namespace
+}  // namespace cryo::spice

@@ -98,8 +98,47 @@ TEST(Sta, HoldSlackReported) {
   const auto sm = model300();
   const auto report = sta::StaEngine(nl, mini_lib(), sm).run();
   // Short path exists but the flop hold time is small; slack is finite.
+  EXPECT_TRUE(report.has_hold_endpoints);
   EXPECT_LT(report.worst_hold_slack, 1e-9);
   EXPECT_GT(report.worst_hold_slack, -50e-12);
+}
+
+TEST(Sta, UndrivenConeIsNotALoop) {
+  // A cone rooted at a gate with an unconnected input pin: the root pops
+  // with no timeable arc (output stays unconstrained), and its sinks must
+  // still be released so the cone drains from the ready queue — the old
+  // sink-release skip reported it as a spurious combinational loop. The
+  // driven flop-to-flop path must still be timed normally.
+  const auto sm = model300();
+  netlist::Netlist nl = chain_netlist(2);
+  const auto u1 = nl.add_net("u1");
+  const auto u2 = nl.add_net("u2");
+  nl.add_gate("dang1", "INV_X1", {{"Y", u1}});  // input pin unconnected
+  nl.add_gate("dang2", "INV_X1", {{"A", u1}, {"Y", u2}});
+  nl.add_output(u2);
+
+  sta::StaEngine engine(nl, mini_lib(), sm);
+  sta::TimingReport report;
+  ASSERT_NO_THROW(report = engine.run());
+  // The driven path still produces a critical path ending at the capture
+  // flop; the dangling cone contributes no endpoint.
+  EXPECT_EQ(report.critical_endpoint, "capture/D");
+  EXPECT_GT(report.critical_delay, 0.0);
+}
+
+TEST(Sta, NoHoldEndpointsNormalizesSlack) {
+  // Every endpoint unconstrained (a PO fed only by a dangling cone): no
+  // hold check ever happens, and the report must say so explicitly
+  // instead of leaking the +1e30 sentinel into worst_hold_slack.
+  netlist::Netlist nl("dangling");
+  const auto y = nl.add_net("y");
+  nl.add_gate("dang", "INV_X1", {{"Y", y}});  // input pin unconnected
+  nl.add_output(y);
+  const auto sm = model300();
+  const auto report = sta::StaEngine(nl, mini_lib(), sm).run();
+  EXPECT_FALSE(report.has_hold_endpoints);
+  EXPECT_EQ(report.worst_hold_slack, 0.0);
+  EXPECT_EQ(report.endpoint_count, 0u);
 }
 
 // --- Synthesis ---------------------------------------------------------------
