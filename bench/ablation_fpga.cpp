@@ -26,7 +26,7 @@ int main() {
   const double f_cpu = 1e9;
 
   for (const double t : {300.0, 10.0}) {
-    const auto sm = bench::flow().sram_model(t);
+    const auto sm = bench::flow().sram_model(bench::flow().corner(t));
     const fpga::FabricModel fabric(sm);
     std::printf("\n== fabric at %.0f K (clock %.0f MHz) ==\n", t,
                 fabric.fabric_clock() / 1e6);
@@ -43,7 +43,7 @@ int main() {
     }
   }
 
-  const auto sm10 = bench::flow().sram_model(10.0);
+  const auto sm10 = bench::flow().sram_model(bench::flow().corner(10.0));
   const fpga::FabricModel fabric10(sm10);
   const auto hdc_acc = fabric10.hdc_accelerator();
   const auto knn_acc = fabric10.knn_accelerator();

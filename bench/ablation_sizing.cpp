@@ -15,8 +15,8 @@ int main() {
   auto bench_report = bench::make_report("ablation_sizing");
   auto& sweep = bench_report.results()["sweep"];
 
-  const auto& lib300 = bench::flow().library(300.0);
-  const auto sm = bench::flow().sram_model(300.0);
+  const auto lib300 = bench::flow().library(bench::flow().corner(300.0));
+  const auto sm = bench::flow().sram_model(bench::flow().corner(300.0));
 
   struct Config {
     const char* name;
@@ -35,9 +35,9 @@ int main() {
       synth::SynthOptions opt;
       opt.max_fanout = cfg.buffer ? 10 : 1 << 20;
       opt.sizing_iterations = cfg.sizing_iterations;
-      report = synth::optimize(soc, lib300, opt);
+      report = synth::optimize(soc, *lib300, opt);
     }
-    const auto timing = sta::StaEngine(soc, lib300, sm).run();
+    const auto timing = sta::StaEngine(soc, *lib300, sm).run();
     std::printf("%-26s | %12.3f | %10.0f | %10zu | %8zu\n", cfg.name,
                 timing.critical_delay * 1e9, timing.fmax / 1e6,
                 soc.gates().size(), report.buffers_inserted);

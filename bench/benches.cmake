@@ -28,6 +28,11 @@ foreach(name ${CRYO_BENCHES})
     RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
 endforeach()
 
+add_executable(sweep_corners bench/sweep_corners.cpp)
+target_link_libraries(sweep_corners PRIVATE cryo_sweep)
+set_target_properties(sweep_corners PROPERTIES
+  RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+
 add_executable(perf_microbench bench/perf_microbench.cpp)
 target_link_libraries(perf_microbench PRIVATE cryo_core benchmark::benchmark)
 set_target_properties(perf_microbench PROPERTIES

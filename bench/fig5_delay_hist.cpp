@@ -16,8 +16,10 @@ int main() {
                 "paper Fig. 5");
   auto report = bench::make_report("fig5_delay_hist");
 
-  const auto& lib300 = bench::flow().library(300.0);
-  const auto& lib10 = bench::flow().library(10.0);
+  const auto lib300p = bench::flow().library(bench::flow().corner(300.0));
+  const auto lib10p = bench::flow().library(bench::flow().corner(10.0));
+  const auto& lib300 = *lib300p;
+  const auto& lib10 = *lib10p;
 
   // Per-cell delay collection is independent; gather concurrently and
   // merge in cell order so the histogram fill order stays deterministic.

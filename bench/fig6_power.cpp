@@ -28,14 +28,15 @@ int main() {
               ms.size(), stats.perf.ipc(),
               stats.cycles_per_classification);
 
-  const double f10 = bench::flow().timing(10.0).fmax;
+  const double f10 = bench::flow().timing(bench::flow().corner(10.0)).fmax;
   const auto profile = bench::flow().activity_from_perf(stats.perf, f10);
 
   std::printf("\n%-8s %12s %14s %14s %12s %s\n", "T", "dynamic", "logic leak",
               "SRAM leak", "total", "cooling check");
   double leak300 = 0.0, leak10 = 0.0;
   for (double t : {300.0, 10.0}) {
-    const auto p = bench::flow().workload_power(t, profile);
+    const auto p =
+        bench::flow().workload_power(bench::flow().corner(t), profile);
     if (t > 100)
       leak300 = p.leakage();
     else
@@ -75,7 +76,8 @@ int main() {
                   static_cast<double>(dperf.instructions));
   const auto dprofile = bench::flow().activity_from_perf(dperf, f10);
   for (double t : {300.0, 10.0}) {
-    const auto p = bench::flow().workload_power(t, dprofile);
+    const auto p =
+        bench::flow().workload_power(bench::flow().corner(t), dprofile);
     std::printf("  %5.0f K: dynamic %6.1f mW | leakage %7.2f mW | total "
                 "%7.1f mW\n",
                 t, p.dynamic() * 1e3, p.leakage() * 1e3, p.total() * 1e3);

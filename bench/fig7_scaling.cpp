@@ -26,11 +26,11 @@ int main() {
   {
     power::ActivityProfile warmup;
     warmup.clock_frequency = f_clk;
-    (void)bench::flow().workload_power(10.0, warmup);
+    (void)bench::flow().workload_power(bench::flow().corner(10.0), warmup);
   }
   // Timing closure of the SoC at the cryogenic corner (exercises the STA
   // cone end-to-end; also gives the trace sta.* spans).
-  const auto timing = bench::flow().timing(10.0);
+  const auto timing = bench::flow().timing(bench::flow().corner(10.0));
   std::printf("SoC fmax at 10 K: %.0f MHz (critical endpoint %s)\n",
               timing.fmax / 1e6, timing.critical_endpoint.c_str());
   report.results()["fmax_mhz_10k"] = timing.fmax / 1e6;
@@ -56,7 +56,7 @@ int main() {
     const double slew = 8e-12, load = 2e-15;
     const double direct_ps = spot.worst_delay(slew, load) * 1e12;
     const charlib::CellChar* cached =
-        bench::flow().library(10.0).find(spot.def.name);
+        bench::flow().library(bench::flow().corner(10.0))->find(spot.def.name);
     const double cached_ps =
         cached != nullptr ? cached->worst_delay(slew, load) * 1e12 : -1.0;
     std::printf("%s spot-check at 10 K: direct SPICE %.2f ps, "
@@ -94,7 +94,10 @@ int main() {
         row.t_hdc = qubits * hs.cycles_per_classification / f_clk * 1e6;
         // Power while classifying (kNN activity at this qubit count).
         const auto profile = bench::flow().activity_from_perf(ks.perf, f_clk);
-        row.power_mw = bench::flow().workload_power(10.0, profile).total() * 1e3;
+        row.power_mw =
+            bench::flow()
+                .workload_power(bench::flow().corner(10.0), profile)
+                .total() * 1e3;
         return row;
       });
 

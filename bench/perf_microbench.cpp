@@ -113,11 +113,11 @@ BENCHMARK(BM_IssDhrystoneLike);
 
 void BM_StaFullSoc(benchmark::State& state) {
   auto& flow = bench::flow();
-  const auto& lib = flow.library(300.0);
+  const auto lib = flow.library(flow.corner(300.0));
   const auto& soc = flow.soc();
-  const auto sm = flow.sram_model(300.0);
+  const auto sm = flow.sram_model(flow.corner(300.0));
   for (auto _ : state) {
-    sta::StaEngine engine(soc, lib, sm);
+    sta::StaEngine engine(soc, *lib, sm);
     benchmark::DoNotOptimize(engine.run().critical_delay);
   }
 }

@@ -19,8 +19,8 @@ int main() {
               stats.gates, stats.flops,
               static_cast<double>(stats.sram_bits) / 8192.0);
 
-  const auto t300 = bench::flow().timing(300.0);
-  const auto t10 = bench::flow().timing(10.0);
+  const auto t300 = bench::flow().timing(bench::flow().corner(300.0));
+  const auto t10 = bench::flow().timing(bench::flow().corner(10.0));
 
   std::printf("\n%-14s %-22s %-16s\n", "Temperature", "Critical path delay",
               "Clock frequency");

@@ -15,9 +15,9 @@ int main() {
   config.calibrate_devices = false;
   cryo::core::CryoSocFlow flow(config);
   for (double t : {300.0, 10.0}) {
-    const auto& lib = flow.library(t);
-    std::printf("library %s: %zu cells at %.0f K\n", lib.name.c_str(),
-                lib.cells.size(), lib.temperature);
+    const auto lib = flow.library(flow.corner(t));
+    std::printf("library %s: %zu cells at %.0f K\n", lib->name.c_str(),
+                lib->cells.size(), lib->temperature);
   }
   std::printf("Liberty artifacts in: %s\n",
               cryo::core::default_lib_dir().c_str());

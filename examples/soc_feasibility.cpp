@@ -19,8 +19,8 @@ int main() {
   core::CryoSocFlow flow(config);
 
   std::printf("== Timing (paper Table 1) ==\n");
-  const auto t300 = flow.timing(300.0);
-  const auto t10 = flow.timing(10.0);
+  const auto t300 = flow.timing(flow.corner(300.0));
+  const auto t10 = flow.timing(flow.corner(10.0));
   std::printf("  300 K: critical path %.3f ns -> %4.0f MHz  (%s)\n",
               t300.critical_delay * 1e9, t300.fmax / 1e6,
               t300.critical_endpoint.c_str());
@@ -41,7 +41,7 @@ int main() {
   std::printf("== Power (paper Fig. 6) ==\n");
   const auto profile = flow.activity_from_perf(stats.perf, t10.fmax);
   for (double t : {300.0, 10.0}) {
-    const auto p = flow.workload_power(t, profile);
+    const auto p = flow.workload_power(flow.corner(t), profile);
     std::printf(
         "  %5.1f K: dynamic %6.1f mW | logic leak %6.2f mW | SRAM leak "
         "%7.2f mW | total %7.1f mW %s\n",

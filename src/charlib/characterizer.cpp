@@ -495,6 +495,10 @@ Library Characterizer::characterize_all(
     std::span<const cells::CellDef> cell_defs,
     const std::string& library_name) const {
   OBS_SPAN("charlib.characterize_all", library_name);
+  // Full characterization runs in this process: a warm artifact store
+  // keeps this at zero, which the sweep bench asserts.
+  static obs::Counter& runs = obs::registry().counter("charlib.runs");
+  runs.add(1);
   Library lib;
   lib.name = library_name;
   lib.temperature = options_.temperature;

@@ -159,6 +159,22 @@ ArtifactKey library_artifact_key(const device::ModelCard& nmos,
   return key;
 }
 
+ArtifactKey library_artifact_key(const device::ModelCard& nmos,
+                                 const device::ModelCard& pmos,
+                                 const cells::CatalogOptions& catalog,
+                                 const Corner& corner,
+                                 std::string_view version,
+                                 const std::vector<cells::CellDef>* cells_override) {
+  ArtifactKey key =
+      library_artifact_key(nmos, pmos, catalog, corner.vdd,
+                           corner.temperature, version, cells_override);
+  // Informational only: check_artifact matches on the fingerprint (and on
+  // the fields the key itself carries), so manifests written before the
+  // corner field existed remain fresh.
+  key.fields.emplace_back("corner", corner.key());
+  return key;
+}
+
 ArtifactStatus check_artifact(const std::string& lib_path,
                               const ArtifactKey& key) {
   std::error_code ec;

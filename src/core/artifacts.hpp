@@ -17,6 +17,7 @@
 #include <string_view>
 
 #include "cells/celldef.hpp"
+#include "core/corner.hpp"
 #include "device/modelcard.hpp"
 #include "liberty/liberty.hpp"
 
@@ -45,6 +46,17 @@ struct ArtifactKey {
 ArtifactKey library_artifact_key(
     const device::ModelCard& nmos, const device::ModelCard& pmos,
     const cells::CatalogOptions& catalog, double vdd, double temperature,
+    std::string_view version = kCharacterizerVersion,
+    const std::vector<cells::CellDef>* cells_override = nullptr);
+
+// Corner-keyed variant: fingerprints from the corner's (vdd, temperature)
+// exactly like the scalar overload — a corner's name never perturbs the
+// fingerprint, so the committed 300 K / 10 K artifacts stay fresh — and
+// additionally records the corner's canonical key as an informational
+// manifest field.
+ArtifactKey library_artifact_key(
+    const device::ModelCard& nmos, const device::ModelCard& pmos,
+    const cells::CatalogOptions& catalog, const Corner& corner,
     std::string_view version = kCharacterizerVersion,
     const std::vector<cells::CellDef>* cells_override = nullptr);
 

@@ -1,0 +1,165 @@
+// Bounded, thread-safe LRU cache of per-corner flow state.
+//
+// A multi-corner sweep touches each corner's library + STA engine many
+// times (timing, power, leakage) from many worker threads, while a large
+// V/T grid must not hold every characterized library in memory at once.
+// This cache gives both: get_or_build() returns a shared_ptr to the
+// corner's state, building it at most once per residency, and evicts the
+// least-recently-used corner past `capacity`. Evicted entries stay alive
+// for as long as any caller still holds the shared_ptr, so references
+// never dangle; the cache merely drops its own reference.
+//
+// Concurrency: the map/LRU bookkeeping is guarded by one mutex that is
+// never held while building (builds run SPICE characterization and can
+// take minutes); each slot carries its own build mutex, so distinct
+// corners build fully in parallel while a second request for an
+// in-flight corner blocks only on that corner. A failed build erases the
+// slot so the next request retries instead of caching the error.
+//
+// Observability: <prefix>.hit / <prefix>.miss / <prefix>.evict counters
+// and a <prefix>.size gauge ("miss" = the entry was not ready at lookup
+// and this call had to build or wait for it).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/corner.hpp"
+#include "obs/metrics.hpp"
+
+namespace cryo::core {
+
+template <typename State>
+class CornerCache {
+ public:
+  CornerCache(std::size_t capacity, const std::string& metric_prefix)
+      : capacity_(capacity == 0 ? 1 : capacity),
+        hits_(obs::registry().counter(metric_prefix + ".hit")),
+        misses_(obs::registry().counter(metric_prefix + ".miss")),
+        evictions_(obs::registry().counter(metric_prefix + ".evict")),
+        size_gauge_(obs::registry().gauge(metric_prefix + ".size")) {}
+
+  std::shared_ptr<State> get_or_build(
+      const Corner& corner,
+      const std::function<std::shared_ptr<State>()>& build) {
+    std::shared_ptr<Slot> slot;
+    bool ready = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = slots_.find(corner);
+      if (it == slots_.end()) {
+        slot = std::make_shared<Slot>();
+        slot->corner = corner;
+        slots_.emplace(corner, slot);
+        lru_.push_front(corner);
+      } else {
+        slot = it->second;
+        touch_locked(corner);
+      }
+      std::lock_guard<std::mutex> slot_lock(slot->value_mutex);
+      ready = slot->value != nullptr;
+    }
+    (ready ? hits_ : misses_).add(1);
+    if (ready) return peek_value(*slot);
+
+    std::lock_guard<std::mutex> build_lock(slot->build_mutex);
+    if (auto value = peek_value(*slot)) return value;  // built while waiting
+    std::shared_ptr<State> value;
+    try {
+      value = build();
+    } catch (...) {
+      erase(corner, slot);
+      throw;
+    }
+    {
+      std::lock_guard<std::mutex> slot_lock(slot->value_mutex);
+      slot->value = value;
+    }
+    enforce_capacity(corner);
+    return value;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return slots_.size();
+  }
+
+ private:
+  struct Slot {
+    Corner corner;
+    std::shared_ptr<State> value;  // guarded by value_mutex
+    std::mutex value_mutex;
+    std::mutex build_mutex;  // held for the whole build
+  };
+
+  static std::shared_ptr<State> peek_value(Slot& slot) {
+    std::lock_guard<std::mutex> lock(slot.value_mutex);
+    return slot.value;
+  }
+
+  // Move `corner` to the front of the LRU list. Caller holds mutex_.
+  void touch_locked(const Corner& corner) {
+    for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+      if (*it == corner) {
+        lru_.splice(lru_.begin(), lru_, it);
+        return;
+      }
+    }
+  }
+
+  // Remove `corner` if it still maps to `slot` (a failed build must not
+  // erase a slot someone else re-created meanwhile).
+  void erase(const Corner& corner, const std::shared_ptr<Slot>& slot) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = slots_.find(corner);
+    if (it == slots_.end() || it->second != slot) return;
+    slots_.erase(it);
+    lru_.remove(corner);
+    size_gauge_.set(static_cast<double>(slots_.size()));
+  }
+
+  // Evict least-recently-used entries until size <= capacity, skipping
+  // `keep` and anything still building. New builders for an evicted
+  // corner cannot race us here: they must pass through mutex_ (held) to
+  // find the slot.
+  void enforce_capacity(const Corner& keep) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    bool progress = true;
+    while (slots_.size() > capacity_ && progress) {
+      progress = false;
+      for (auto it = std::prev(lru_.end());; --it) {
+        const Corner victim = *it;
+        auto found = slots_.find(victim);
+        // try_lock: a slot mid-build is pinned by its builder; skip it.
+        if (victim != keep && found != slots_.end() &&
+            found->second->build_mutex.try_lock()) {
+          found->second->build_mutex.unlock();
+          slots_.erase(found);
+          lru_.erase(it);
+          evictions_.add(1);
+          progress = true;
+          break;
+        }
+        if (it == lru_.begin()) break;
+      }
+    }
+    size_gauge_.set(static_cast<double>(slots_.size()));
+  }
+
+  const std::size_t capacity_;
+  obs::Counter& hits_;
+  obs::Counter& misses_;
+  obs::Counter& evictions_;
+  obs::Gauge& size_gauge_;
+
+  mutable std::mutex mutex_;
+  std::unordered_map<Corner, std::shared_ptr<Slot>> slots_;
+  std::list<Corner> lru_;  // front = most recently used
+};
+
+}  // namespace cryo::core

@@ -1,0 +1,66 @@
+// Structured flow errors, mirroring spice::SolveError's diagnostics style.
+//
+// The old flow surfaced failures as ad-hoc std::runtime_error strings from
+// whichever layer hit them first (liberty I/O, parse, artifact
+// resolution), which meant a multi-corner sweep could only die on the
+// first failure. FlowError carries the failing stage, the corner being
+// processed (when known), and the path involved, so cryo::sweep can
+// record a per-corner failure and keep the sibling corners running.
+//
+// FlowError derives from std::runtime_error and what() embeds every
+// field, so existing catch sites lose nothing.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "core/corner.hpp"
+
+namespace cryo::core {
+
+class FlowError : public std::runtime_error {
+ public:
+  FlowError(std::string stage, std::string path, std::string detail,
+            std::optional<Corner> corner = std::nullopt)
+      : std::runtime_error(render(stage, path, detail, corner)),
+        stage_(std::move(stage)),
+        path_(std::move(path)),
+        detail_(std::move(detail)),
+        corner_(std::move(corner)) {}
+
+  // Pipeline stage that failed: "liberty-io", "liberty-parse",
+  // "artifact-load", "characterize", "manifest-io", ...
+  const std::string& stage() const { return stage_; }
+  // File involved, empty when the failure was not file-bound.
+  const std::string& path() const { return path_; }
+  // The underlying error message, without the stage/corner framing.
+  const std::string& detail() const { return detail_; }
+  // Corner being processed; nullopt below the flow layer (raw liberty I/O).
+  const std::optional<Corner>& corner() const { return corner_; }
+
+  // Rebinds the corner/stage while keeping the underlying detail; used by
+  // the flow to annotate errors thrown by corner-oblivious layers.
+  static FlowError at_corner(const FlowError& e, const Corner& corner,
+                             const std::string& stage) {
+    return FlowError(stage, e.path(), e.detail(), corner);
+  }
+
+ private:
+  static std::string render(const std::string& stage, const std::string& path,
+                            const std::string& detail,
+                            const std::optional<Corner>& corner) {
+    std::string out = "[flow:" + stage + "] " + detail;
+    if (corner) out += " (corner " + corner->label() + ")";
+    if (!path.empty()) out += " (path " + path + ")";
+    return out;
+  }
+
+  std::string stage_;
+  std::string path_;
+  std::string detail_;
+  std::optional<Corner> corner_;
+};
+
+}  // namespace cryo::core

@@ -27,37 +27,40 @@ std::string default_lib_dir() {
   return "lib";
 }
 
-CryoSocFlow::CryoSocFlow(FlowConfig config) : config_(std::move(config)) {
+CryoSocFlow::CryoSocFlow(FlowConfig config)
+    : config_(std::move(config)),
+      corners_(config_.corner_cache_capacity, "sweep.corner_cache") {
   if (config_.lib_dir.empty()) config_.lib_dir = default_lib_dir();
 }
 
 void CryoSocFlow::ensure_devices() {
-  if (nmos_) return;
-  if (config_.nmos_override || config_.pmos_override) {
-    if (!config_.nmos_override || !config_.pmos_override)
-      throw std::invalid_argument(
-          "FlowConfig: override both modelcards or neither");
-    nmos_ = *config_.nmos_override;
-    pmos_ = *config_.pmos_override;
-    return;
-  }
-  if (!config_.calibrate_devices) {
-    nmos_ = device::golden_nmos();
-    pmos_ = device::golden_pmos();
-    return;
-  }
-  OBS_SPAN("flow.calibrate");
-  // The two polarities are independent measurement + extraction campaigns
-  // (each oracle owns its RNG stream, seeded per polarity); run them
-  // concurrently.
-  exec::parallel_for(2, [&](std::size_t i) {
-    const auto polarity =
-        i == 0 ? device::Polarity::kNmos : device::Polarity::kPmos;
-    calib::SiliconOracle oracle(polarity, config_.seed + i);
-    auto campaign = calib::run_campaign(oracle, config_.vdd + 0.05);
-    auto& report = i == 0 ? report_n_ : report_p_;
-    report = calib::extract(campaign, polarity);
-    (i == 0 ? nmos_ : pmos_) = report->card;
+  std::call_once(devices_once_, [&] {
+    if (config_.nmos_override || config_.pmos_override) {
+      if (!config_.nmos_override || !config_.pmos_override)
+        throw std::invalid_argument(
+            "FlowConfig: override both modelcards or neither");
+      nmos_ = *config_.nmos_override;
+      pmos_ = *config_.pmos_override;
+      return;
+    }
+    if (!config_.calibrate_devices) {
+      nmos_ = device::golden_nmos();
+      pmos_ = device::golden_pmos();
+      return;
+    }
+    OBS_SPAN("flow.calibrate");
+    // The two polarities are independent measurement + extraction
+    // campaigns (each oracle owns its RNG stream, seeded per polarity);
+    // run them concurrently.
+    exec::parallel_for(2, [&](std::size_t i) {
+      const auto polarity =
+          i == 0 ? device::Polarity::kNmos : device::Polarity::kPmos;
+      calib::SiliconOracle oracle(polarity, config_.seed + i);
+      auto campaign = calib::run_campaign(oracle, config_.vdd + 0.05);
+      auto& report = i == 0 ? report_n_ : report_p_;
+      report = calib::extract(campaign, polarity);
+      (i == 0 ? nmos_ : pmos_) = report->card;
+    });
   });
 }
 
@@ -80,101 +83,202 @@ const calib::ExtractionReport& CryoSocFlow::extraction_report(
   return *report;
 }
 
-const charlib::Library& CryoSocFlow::library(double temperature) {
-  auto& slot = temperature < 100.0 ? lib10_ : lib300_;
-  if (slot) return *slot;
-  const std::string name =
-      temperature < 100.0 ? "cryo5_10k" : "cryo5_300k";
-  const double temp = temperature < 100.0 ? 10.0 : 300.0;
+Corner CryoSocFlow::corner(double temperature) const {
+  Corner c{config_.vdd, temperature, ""};
+  c.name = corner_detail::sanitize(corner_detail::shortest(temperature)) + "k";
+  return c;
+}
+
+std::string CryoSocFlow::corner_slug(const Corner& corner) const {
+  if (!corner.name.empty()) return corner.slug();
+  // Unnamed corner at the nominal supply: use the temperature-only name
+  // ("300k"), so Corner{0.7, 300} finds the same committed artifact as
+  // the canonical corner(300).
+  if (corner.vdd == config_.vdd)
+    return corner_detail::sanitize(
+               corner_detail::shortest(corner.temperature)) +
+           "k";
+  return corner.slug();  // "v0p65_t300"
+}
+
+std::shared_ptr<CornerState> CryoSocFlow::build_corner_state(
+    const Corner& corner) {
+  const std::string name = "cryo5_" + corner_slug(corner);
   const fs::path path = fs::path(config_.lib_dir) / (name + ".lib");
 
-  ensure_devices();
-  OBS_SPAN("flow.library", name);
+  OBS_SPAN("flow.corner", corner.label());
   static obs::Counter& hits = obs::registry().counter("artifacts.hits");
   static obs::Counter& misses = obs::registry().counter("artifacts.misses");
   static obs::Counter& regenerated =
       obs::registry().counter("artifacts.regenerated");
   const ArtifactKey key = library_artifact_key(
-      *nmos_, *pmos_, config_.catalog, config_.vdd, temp,
-      kCharacterizerVersion,
+      *nmos_, *pmos_, config_.catalog, corner, kCharacterizerVersion,
       config_.cells_override ? &*config_.cells_override : nullptr);
   const ArtifactStatus status = check_artifact(path.string(), key);
+  charlib::Library lib;
   if (status.fresh) {
     hits.add(1);
     OBS_SPAN("flow.library.load", name);
-    slot = liberty::read_file(path.string());
-    return *slot;
-  }
-  if (status.reason.find("missing") != std::string::npos) {
-    misses.add(1);
+    // A fresh fingerprint with unreadable content is a corrupt artifact:
+    // surface it as a per-corner failure (the manifest promised content
+    // it cannot deliver) instead of silently re-characterizing.
+    try {
+      lib = liberty::read_file(path.string());
+    } catch (const FlowError& e) {
+      throw FlowError::at_corner(e, corner, "artifact-load");
+    } catch (const std::exception& e) {
+      throw FlowError("artifact-load", path.string(), e.what(), corner);
+    }
   } else {
-    regenerated.add(1);
-    std::fprintf(stderr, "[cryo::core] artifact %s stale: %s; re-characterizing\n",
-                 path.string().c_str(), status.reason.c_str());
-  }
+    if (status.reason.find("missing") != std::string::npos) {
+      misses.add(1);
+    } else {
+      regenerated.add(1);
+      std::fprintf(stderr,
+                   "[cryo::core] artifact %s stale: %s; re-characterizing\n",
+                   path.string().c_str(), status.reason.c_str());
+    }
 
-  OBS_SPAN("flow.library.characterize", name);
-  charlib::CharOptions options;
-  options.temperature = temp;
-  options.vdd = config_.vdd;
-  charlib::Characterizer characterizer(*nmos_, *pmos_, options);
-  const auto defs = config_.cells_override
-                        ? *config_.cells_override
-                        : cells::standard_cells(config_.catalog);
-  slot = characterizer.characterize_all(defs, name);
-  std::error_code ec;
-  fs::create_directories(config_.lib_dir, ec);
-  liberty::Manifest manifest = key.manifest();
-  manifest.quarantined = slot->quarantined_arcs;
-  if (!manifest.quarantined.empty())
-    std::fprintf(stderr,
-                 "[cryo::core] library %s characterized with %zu "
-                 "quarantined arc(s) (first: %s); artifact will not be "
-                 "reused\n",
-                 name.c_str(), manifest.quarantined.size(),
-                 manifest.quarantined.front().c_str());
-  try {
-    liberty::write_file(*slot, path.string());
-    // The manifest records the quarantine list, which check_artifact
-    // treats as permanently stale — a degraded library is usable in this
-    // process but never trusted from disk.
-    liberty::write_manifest(path.string(), manifest);
-  } catch (const std::exception&) {
-    // Cache write failure is non-fatal (read-only checkout).
+    OBS_SPAN("flow.library.characterize", name);
+    charlib::CharOptions options;
+    options.temperature = corner.temperature;
+    options.vdd = corner.vdd;
+    charlib::Characterizer characterizer(*nmos_, *pmos_, options);
+    const auto defs = config_.cells_override
+                          ? *config_.cells_override
+                          : cells::standard_cells(config_.catalog);
+    try {
+      lib = characterizer.characterize_all(defs, name);
+    } catch (const std::exception& e) {
+      throw FlowError("characterize", path.string(), e.what(), corner);
+    }
+    std::error_code ec;
+    fs::create_directories(config_.lib_dir, ec);
+    liberty::Manifest manifest = key.manifest();
+    manifest.quarantined = lib.quarantined_arcs;
+    if (!manifest.quarantined.empty())
+      std::fprintf(stderr,
+                   "[cryo::core] library %s characterized with %zu "
+                   "quarantined arc(s) (first: %s); artifact will not be "
+                   "reused\n",
+                   name.c_str(), manifest.quarantined.size(),
+                   manifest.quarantined.front().c_str());
+    try {
+      liberty::write_file(lib, path.string());
+      // The manifest records the quarantine list, which check_artifact
+      // treats as permanently stale — a degraded library is usable in
+      // this process but never trusted from disk.
+      liberty::write_manifest(path.string(), manifest);
+    } catch (const std::exception&) {
+      // Cache write failure is non-fatal (read-only checkout).
+    }
   }
-  return *slot;
+  sram::SramModel sram(*nmos_, *pmos_, corner.temperature, corner.vdd);
+  return std::make_shared<CornerState>(corner, std::move(lib),
+                                       std::move(sram));
 }
 
-const netlist::Netlist& CryoSocFlow::soc() {
-  if (soc_) return *soc_;
-  soc_ = netlist::build_soc(config_.soc);
-  {
-    OBS_SPAN("flow.synthesize");
-    synth::optimize(*soc_, library(300.0));
-  }
-  return *soc_;
-}
-
-sram::SramModel CryoSocFlow::sram_model(double temperature) {
+std::shared_ptr<CornerState> CryoSocFlow::corner_state_mutable(
+    const Corner& corner) {
   ensure_devices();
-  return sram::SramModel(*nmos_, *pmos_, temperature, config_.vdd);
+  return corners_.get_or_build(corner,
+                               [&] { return build_corner_state(corner); });
 }
 
-sta::TimingReport CryoSocFlow::timing(double temperature) {
-  const auto& lib = library(temperature);
-  const auto sm = sram_model(temperature);
-  OBS_SPAN("flow.sta");
-  sta::StaEngine engine(soc(), lib, sm);
+std::shared_ptr<const CornerState> CryoSocFlow::corner_state(
+    const Corner& corner) {
+  return corner_state_mutable(corner);
+}
+
+std::shared_ptr<const charlib::Library> CryoSocFlow::library(
+    const Corner& corner) {
+  auto state = corner_state_mutable(corner);
+  return {state, &state->library};
+}
+
+sram::SramModel CryoSocFlow::sram_model(const Corner& corner) {
+  ensure_devices();
+  return sram::SramModel(*nmos_, *pmos_, corner.temperature, corner.vdd);
+}
+
+const sta::StaEngine& CryoSocFlow::engine_for(CornerState& state) {
+  // Resolve the netlist before taking the once-lock: soc() itself
+  // resolves the 300 K corner and must not nest under it.
+  const netlist::Netlist& netlist = soc();
+  static obs::Counter& builds = obs::registry().counter("flow.engine_builds");
+  static obs::Gauge& reuse = obs::registry().gauge("flow.engine_reuse");
+  bool built = false;
+  std::call_once(state.engine_once, [&] {
+    OBS_SPAN("flow.sta_engine_build", state.corner.label());
+    state.engine = std::make_unique<sta::StaEngine>(netlist, state.library,
+                                                    state.sram);
+    builds.add(1);
+    built = true;
+  });
+  if (!built) reuse.add(1);
+  return *state.engine;
+}
+
+sta::TimingReport CryoSocFlow::timing(const Corner& corner) {
+  auto state = corner_state_mutable(corner);
+  const sta::StaEngine& engine = engine_for(*state);
+  OBS_SPAN("flow.sta", corner.label());
   return engine.run();
 }
 
 power::PowerReport CryoSocFlow::workload_power(
-    double temperature, const power::ActivityProfile& profile) {
-  const auto& lib = library(temperature);
-  const auto sm = sram_model(temperature);
-  OBS_SPAN("flow.power");
-  power::PowerAnalyzer analyzer(soc(), lib, sm);
+    const Corner& corner, const power::ActivityProfile& profile) {
+  auto state = corner_state_mutable(corner);
+  const sta::StaEngine& engine = engine_for(*state);
+  OBS_SPAN("flow.power", corner.label());
+  power::PowerAnalyzer analyzer(soc(), state->library, state->sram, engine);
   return analyzer.analyze(profile);
+}
+
+// ---- Deprecated scalar-temperature shims --------------------------------
+
+namespace {
+// Historical semantics of the scalar API: any temperature below 100 K
+// meant the 10 K library, anything else the 300 K one.
+double snap_temperature(double temperature) {
+  return temperature < 100.0 ? 10.0 : 300.0;
+}
+}  // namespace
+
+const charlib::Library& CryoSocFlow::library(double temperature) {
+  auto state = corner_state_mutable(corner(snap_temperature(temperature)));
+  // Pin the state so the returned reference survives cache eviction for
+  // the flow's lifetime (the price of the deprecated reference API).
+  std::lock_guard<std::mutex> lock(pin_mutex_);
+  for (const auto& pinned : pinned_)
+    if (pinned.get() == state.get()) return state->library;
+  pinned_.push_back(state);
+  return state->library;
+}
+
+sta::TimingReport CryoSocFlow::timing(double temperature) {
+  return timing(corner(snap_temperature(temperature)));
+}
+
+power::PowerReport CryoSocFlow::workload_power(
+    double temperature, const power::ActivityProfile& profile) {
+  return workload_power(corner(snap_temperature(temperature)), profile);
+}
+
+sram::SramModel CryoSocFlow::sram_model(double temperature) {
+  // Never snapped historically: SRAM models were built at the exact
+  // requested temperature.
+  return sram_model(Corner{config_.vdd, temperature, ""});
+}
+
+const netlist::Netlist& CryoSocFlow::soc() {
+  std::call_once(soc_once_, [&] {
+    soc_ = netlist::build_soc(config_.soc);
+    auto lib = library(corner(300.0));
+    OBS_SPAN("flow.synthesize");
+    synth::optimize(*soc_, *lib);
+  });
+  return *soc_;
 }
 
 power::ActivityProfile CryoSocFlow::activity_from_perf(

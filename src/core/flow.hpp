@@ -1,21 +1,36 @@
 // cryosoc top-level flow: the paper's methodology (Fig. 1) as one API.
 //
-//   measurements -> calibrated modelcard -> standard-cell libraries at
-//   300 K / 10 K -> synthesized RISC-V SoC -> STA + power at both
-//   temperatures -> workload simulation (kNN / HDC kernels on the ISS)
+//   measurements -> calibrated modelcard -> standard-cell libraries per
+//   operating corner -> synthesized RISC-V SoC -> STA + power at every
+//   corner -> workload simulation (kNN / HDC kernels on the ISS)
 //   -> feasibility versus the cooling budget and decoherence deadline.
 //
-// Characterized libraries are cached as Liberty files (lib/*.lib) so the
-// expensive SPICE characterization runs once; benches and examples load
-// the artifacts afterwards.
+// The flow is corner-keyed: every analysis takes a core::Corner
+// (vdd, temperature) and per-corner state — the characterized library,
+// the SRAM macro model, and the STA engine — lives in a bounded,
+// thread-safe LRU cache, so a multi-corner sweep (cryo::sweep) can fan
+// corners out over the exec scheduler while each corner characterizes at
+// most once. Characterized libraries are cached as Liberty files
+// (lib/*.lib) through the fingerprinted artifact store, so the expensive
+// SPICE characterization runs once ever per corner; benches and examples
+// load the artifacts afterwards.
+//
+// The old scalar-temperature overloads (library(300.0), ...) survive as
+// deprecated shims that snap to the canonical 300 K / 10 K corners.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "calib/extraction.hpp"
 #include "charlib/characterizer.hpp"
+#include "core/corner.hpp"
+#include "core/corner_cache.hpp"
+#include "core/error.hpp"
 #include "netlist/soc_gen.hpp"
 #include "riscv/cpu.hpp"
 #include "power/power.hpp"
@@ -44,11 +59,33 @@ struct FlowConfig {
   // cell to exercise quarantine). The definitions are hashed into the
   // artifact key, so overridden runs never collide with catalog runs.
   std::optional<std::vector<cells::CellDef>> cells_override;
+  // Bound on the per-corner state cache (library + SRAM model + STA
+  // engine per resident corner). Sweeps over grids larger than this
+  // evict least-recently-used corners; evicted corners reload from the
+  // artifact store on the next touch.
+  std::size_t corner_cache_capacity = 8;
   std::uint64_t seed = 42;
 };
 
 // Resolves the Liberty artifact directory (see FlowConfig::lib_dir).
 std::string default_lib_dir();
+
+// One corner's resident state: everything derived from (vdd, temperature)
+// that is worth keeping across analyses. The STA engine is built lazily on
+// the first timing/power call for the corner and reused afterwards (its
+// sink lists and net loads depend only on the netlist + library).
+struct CornerState {
+  CornerState(Corner c, charlib::Library lib, sram::SramModel sm)
+      : corner(std::move(c)), library(std::move(lib)), sram(std::move(sm)) {}
+
+  Corner corner;
+  charlib::Library library;
+  sram::SramModel sram;
+
+  // Lazily-built engine; managed by CryoSocFlow (see engine_for).
+  mutable std::once_flag engine_once;
+  mutable std::unique_ptr<sta::StaEngine> engine;
+};
 
 class CryoSocFlow {
  public:
@@ -59,21 +96,55 @@ class CryoSocFlow {
   const device::ModelCard& pmos();
   const calib::ExtractionReport& extraction_report(device::Polarity p);
 
-  // Characterized library at `temperature` (300 or 10 K). Loaded from the
-  // Liberty artifact store when a cached .lib carries a sidecar manifest
-  // whose fingerprint matches the current configuration (modelcards,
-  // catalog, vdd, temperature, characterizer version); otherwise
-  // re-characterized and the artifact + manifest rewritten.
+  // Canonical named corner at the flow's nominal supply: corner(300) is
+  // the "300k" corner, corner(10) is "10k"; any other temperature gets a
+  // derived name ("77k"). The name only labels the Liberty artifact file;
+  // identity is (vdd, temperature).
+  Corner corner(double temperature) const;
+
+  // ---- Corner-keyed surface --------------------------------------------
+  //
+  // All of these resolve the corner through the LRU corner cache
+  // (obs: sweep.corner_cache.{hit,miss,evict,size}); the library is
+  // loaded from the fingerprinted artifact store or characterized on
+  // first touch. Failures throw core::FlowError carrying stage + corner
+  // + path. Safe to call concurrently from exec workers.
+
+  // Characterized library at the corner. The shared_ptr keeps the
+  // library alive across cache eviction for as long as the caller holds
+  // it.
+  std::shared_ptr<const charlib::Library> library(const Corner& corner);
+
+  // Full per-corner state (library + SRAM model + cached STA engine).
+  std::shared_ptr<const CornerState> corner_state(const Corner& corner);
+
+  sram::SramModel sram_model(const Corner& corner);
+  sta::TimingReport timing(const Corner& corner);
+  power::PowerReport workload_power(const Corner& corner,
+                                    const power::ActivityProfile& profile);
+
+  // ---- Deprecated scalar-temperature shims -----------------------------
+  //
+  // Thin wrappers over the corner-keyed surface that snap any temperature
+  // to the canonical corners (T < 100 -> corner(10), else corner(300)) at
+  // the flow's nominal vdd, matching the historical behavior exactly.
+  // sram_model(double) keeps the exact temperature (it never snapped).
+
+  [[deprecated("use library(const Corner&); this shim snaps T to 300K/10K")]]
   const charlib::Library& library(double temperature);
-
-  // The synthesized SoC netlist (built and optimized with the 300 K
-  // library, as the paper does).
-  const netlist::Netlist& soc();
-
-  sram::SramModel sram_model(double temperature);
+  [[deprecated("use timing(const Corner&); this shim snaps T to 300K/10K")]]
   sta::TimingReport timing(double temperature);
+  [[deprecated(
+      "use workload_power(const Corner&, ...); this shim snaps T to "
+      "300K/10K")]]
   power::PowerReport workload_power(double temperature,
                                     const power::ActivityProfile& profile);
+  [[deprecated("use sram_model(const Corner&)")]]
+  sram::SramModel sram_model(double temperature);
+
+  // The synthesized SoC netlist (built and optimized with the 300 K
+  // library, as the paper does). Thread-safe; built once.
+  const netlist::Netlist& soc();
 
   // Translates ISS performance counters into the per-unit activity
   // profile the power analyzer consumes.
@@ -84,15 +155,30 @@ class CryoSocFlow {
 
  private:
   void ensure_devices();
+  // Artifact file stem for a corner ("300k", "v0p65_t300", or the
+  // corner's own name).
+  std::string corner_slug(const Corner& corner) const;
+  // Load-or-characterize the corner's library and assemble its state.
+  std::shared_ptr<CornerState> build_corner_state(const Corner& corner);
+  // Non-const state access for the lazy engine.
+  std::shared_ptr<CornerState> corner_state_mutable(const Corner& corner);
+  // The corner's cached STA engine, built on first use.
+  const sta::StaEngine& engine_for(CornerState& state);
 
   FlowConfig config_;
+  std::once_flag devices_once_;
   std::optional<device::ModelCard> nmos_;
   std::optional<device::ModelCard> pmos_;
   std::optional<calib::ExtractionReport> report_n_;
   std::optional<calib::ExtractionReport> report_p_;
-  std::optional<charlib::Library> lib300_;
-  std::optional<charlib::Library> lib10_;
+  std::once_flag soc_once_;
   std::optional<netlist::Netlist> soc_;
+  CornerCache<CornerState> corners_;
+  // States handed out by the deprecated reference-returning library(double)
+  // shim are pinned for the flow's lifetime so the references stay valid
+  // across cache eviction.
+  std::mutex pin_mutex_;
+  std::vector<std::shared_ptr<CornerState>> pinned_;
 };
 
 }  // namespace cryo::core

@@ -30,14 +30,17 @@ namespace cryo::liberty {
 // Serializes the library to Liberty text.
 std::string write(const charlib::Library& library);
 
-// Writes to a file; throws std::runtime_error on I/O failure.
+// Writes to a file; throws core::FlowError (stage "liberty-io", a
+// std::runtime_error) on I/O failure.
 void write_file(const charlib::Library& library, const std::string& path);
 
 // Parses Liberty text produced by write(). Throws std::runtime_error with
 // a line number on malformed input.
 charlib::Library parse(const std::string& text);
 
-// Reads and parses a Liberty file.
+// Reads and parses a Liberty file. I/O failures throw core::FlowError
+// with stage "liberty-io"; malformed content throws stage "liberty-parse"
+// carrying parse()'s line-numbered message and the file path.
 charlib::Library read_file(const std::string& path);
 
 // ---- Artifact manifest sidecars ----------------------------------------

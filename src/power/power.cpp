@@ -36,7 +36,14 @@ PowerAnalyzer::PowerAnalyzer(const netlist::Netlist& netlist,
     : nl_(netlist),
       lib_(library),
       sram_(sram_model),
-      sta_(netlist, library, sram_model, sta_options) {}
+      owned_sta_(std::in_place, netlist, library, sram_model, sta_options),
+      sta_(*owned_sta_) {}
+
+PowerAnalyzer::PowerAnalyzer(const netlist::Netlist& netlist,
+                             const charlib::Library& library,
+                             const sram::SramModel& sram_model,
+                             const sta::StaEngine& engine)
+    : nl_(netlist), lib_(library), sram_(sram_model), sta_(engine) {}
 
 PowerReport PowerAnalyzer::analyze(const ActivityProfile& profile) const {
   OBS_SPAN("power.analyze");

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <map>
+#include <optional>
 #include <string>
 
 #include "charlib/library.hpp"
@@ -54,13 +55,23 @@ class PowerAnalyzer {
                 const sram::SramModel& sram_model,
                 sta::StaOptions sta_options = {});
 
+  // Borrows an already-built STA engine for net loads instead of building
+  // one (the flow's per-corner engine cache uses this; the engine's sink
+  // lists depend only on the netlist + library, both shared here). The
+  // engine must outlive the analyzer.
+  PowerAnalyzer(const netlist::Netlist& netlist,
+                const charlib::Library& library,
+                const sram::SramModel& sram_model,
+                const sta::StaEngine& engine);
+
   PowerReport analyze(const ActivityProfile& profile) const;
 
  private:
   const netlist::Netlist& nl_;
   const charlib::Library& lib_;
   const sram::SramModel& sram_;
-  sta::StaEngine sta_;  // reused for net loads
+  std::optional<sta::StaEngine> owned_sta_;  // built by the first ctor
+  const sta::StaEngine& sta_;  // reused for net loads
 };
 
 }  // namespace cryo::power

@@ -1,0 +1,114 @@
+// cryo::sweep — parallel multi-corner analysis engine.
+//
+// The paper compares one SoC across operating corners (300 K vs 10 K,
+// Tables 1-3; VDD scaling in the power study); production signoff does the
+// same over V/T grids with dozens of corners. run_sweep() takes a corner
+// grid plus a SweepRequest naming the analyses to run (timing, power,
+// library leakage, workload feasibility) and fans the corners out over the
+// cryo::exec scheduler. Each corner resolves its Liberty artifact through
+// the flow's fingerprinted store and LRU corner cache, so a grid
+// characterizes every corner exactly once ever — in parallel on a cold
+// store, from disk afterwards.
+//
+// Failure isolation: a corner that fails (core::FlowError from artifact
+// resolution, a quarantined characterization, an analysis throw) is
+// recorded as a per-corner error in the SweepReport; sibling corners are
+// unaffected. The sweep itself only throws on programmer error (empty
+// grid).
+//
+// Determinism: results are index-addressed per corner (exec::parallel_map)
+// and every analysis is deterministic, so a sweep's reports are
+// byte-identical to running the same corners sequentially, at any
+// CRYOSOC_THREADS.
+//
+// Observability: sweep.corners / sweep.failures counters, the
+// sweep.corner_seconds histogram, and the flow's
+// sweep.corner_cache.{hit,miss,evict} instruments. to_json() renders the
+// whole report as one `cryosoc-sweep-v1` document for obs::BenchReport.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/units.hpp"
+#include "core/corner.hpp"
+#include "core/flow.hpp"
+#include "obs/report.hpp"
+#include "power/power.hpp"
+#include "sta/sta.hpp"
+
+namespace cryo::sweep {
+
+struct SweepRequest {
+  std::vector<core::Corner> corners;
+
+  // Which analyses to run per corner.
+  bool run_timing = true;
+  bool run_power = false;
+  bool run_leakage = false;      // sum of library cell leakage
+  bool run_feasibility = false;  // cooling budget + decoherence deadline
+
+  // Activity profile for the power analysis. When clock_frequency <= 0 it
+  // is replaced per corner by that corner's fmax (requires run_timing).
+  power::ActivityProfile profile;
+
+  // Feasibility inputs (paper Sec. VI): total power must fit the cooling
+  // budget; a batch of `qubits` classifications at cycles_per_classification
+  // must finish inside the decoherence deadline (0 disables the check).
+  double cooling_budget_w = kCoolingBudget10K;
+  double deadline_s = kFalconDecoherenceTime;
+  double cycles_per_classification = 0.0;
+  int qubits = 0;
+
+  // Worker threads: > 0 explicit, 0 = CRYOSOC_THREADS / hardware.
+  int threads = 0;
+};
+
+struct CornerResult {
+  core::Corner corner;
+  bool ok = false;
+  // Failure account (empty when ok): the stage mirrors
+  // core::FlowError::stage(), plus "quarantine" for degraded
+  // characterizations and "analysis" for non-flow throws.
+  std::string error;
+  std::string error_stage;
+
+  std::optional<sta::TimingReport> timing;
+  std::optional<power::PowerReport> power;
+  double library_leakage_w = 0.0;  // when run_leakage
+
+  // Feasibility verdicts (when run_feasibility and the inputs exist).
+  std::optional<bool> fits_cooling_budget;
+  std::optional<bool> meets_deadline;
+
+  double seconds = 0.0;  // wall clock of this corner's analyses
+};
+
+struct SweepReport {
+  std::vector<CornerResult> corners;  // same order as the request
+  std::size_t failed = 0;
+
+  // Derived cross-corner scalars (over successful corners only).
+  // Index of the worst corner by fmax (slowest timing), if any ran.
+  std::optional<std::size_t> worst_corner;
+  // (temperature, min fmax at that temperature), ascending temperature.
+  std::vector<std::pair<double, double>> fmax_vs_temperature;
+  // Highest temperature at which total power still fits the cooling
+  // budget (linear interpolation between bracketing corners); set when
+  // power ran on >= 2 corners and a crossover exists.
+  std::optional<double> cooling_crossover_k;
+};
+
+// Runs every corner of the request through `flow`, fanning out over the
+// exec scheduler. Shared lazy state (devices, the synthesized SoC) is
+// built once up front, so workers only do per-corner work.
+SweepReport run_sweep(core::CryoSocFlow& flow, const SweepRequest& request);
+
+// Renders the report as one `cryosoc-sweep-v1` JSON document (embed it in
+// an obs::BenchReport under results()["sweep"]).
+obs::Json to_json(const SweepReport& report);
+
+}  // namespace cryo::sweep

@@ -27,12 +27,12 @@ CryoSocFlow& flow() {
 }
 
 TEST(Flow, LibrariesLoadWithFullCatalog) {
-  const auto& lib300 = flow().library(300.0);
-  const auto& lib10 = flow().library(10.0);
-  EXPECT_GE(lib300.cells.size(), 180u);
-  EXPECT_EQ(lib300.cells.size(), lib10.cells.size());
-  EXPECT_DOUBLE_EQ(lib300.temperature, 300.0);
-  EXPECT_DOUBLE_EQ(lib10.temperature, 10.0);
+  const auto lib300 = flow().library(flow().corner(300.0));
+  const auto lib10 = flow().library(flow().corner(10.0));
+  EXPECT_GE(lib300->cells.size(), 180u);
+  EXPECT_EQ(lib300->cells.size(), lib10->cells.size());
+  EXPECT_DOUBLE_EQ(lib300->temperature, 300.0);
+  EXPECT_DOUBLE_EQ(lib10->temperature, 10.0);
 }
 
 TEST(Flow, LibraryWideDelayOverlap) {
@@ -40,8 +40,8 @@ TEST(Flow, LibraryWideDelayOverlap) {
   // degree. Compare mean delays across all cells/arcs/conditions.
   double sum300 = 0.0, sum10 = 0.0;
   std::size_t n = 0;
-  const auto& lib300 = flow().library(300.0);
-  const auto& lib10 = flow().library(10.0);
+  const auto& lib300 = *flow().library(flow().corner(300.0));
+  const auto& lib10 = *flow().library(flow().corner(10.0));
   for (std::size_t c = 0; c < lib300.cells.size(); ++c) {
     for (std::size_t a = 0; a < lib300.cells[c].arcs.size(); ++a) {
       const auto& t300 = lib300.cells[c].arcs[a].delay;
@@ -62,8 +62,8 @@ TEST(Flow, LibraryWideDelayOverlap) {
 }
 
 TEST(Flow, LibraryWideLeakageCollapse) {
-  const auto& lib300 = flow().library(300.0);
-  const auto& lib10 = flow().library(10.0);
+  const auto& lib300 = *flow().library(flow().corner(300.0));
+  const auto& lib10 = *flow().library(flow().corner(10.0));
   double leak300 = 0.0, leak10 = 0.0;
   for (std::size_t c = 0; c < lib300.cells.size(); ++c) {
     leak300 += lib300.cells[c].leakage_avg;
@@ -73,8 +73,8 @@ TEST(Flow, LibraryWideLeakageCollapse) {
 }
 
 TEST(Flow, SocTimingMatchesTable1Shape) {
-  const auto t300 = flow().timing(300.0);
-  const auto t10 = flow().timing(10.0);
+  const auto t300 = flow().timing(flow().corner(300.0));
+  const auto t10 = flow().timing(flow().corner(10.0));
   // Table 1: a small slowdown (<10 %) at 10 K, same critical structure.
   EXPECT_GT(t10.critical_delay, t300.critical_delay * 0.98);
   EXPECT_LT(t10.critical_delay, t300.critical_delay * 1.10);
@@ -91,10 +91,10 @@ TEST(Flow, WorkloadPowerMatchesFig6Shape) {
   const auto stats = classify::run_knn_kernel(cpu, knn, ms);
   ASSERT_TRUE(stats.matches_host);
 
-  const double f = flow().timing(300.0).fmax;
+  const double f = flow().timing(flow().corner(300.0)).fmax;
   const auto profile = flow().activity_from_perf(stats.perf, f);
-  const auto p300 = flow().workload_power(300.0, profile);
-  const auto p10 = flow().workload_power(10.0, profile);
+  const auto p300 = flow().workload_power(flow().corner(300.0), profile);
+  const auto p10 = flow().workload_power(flow().corner(10.0), profile);
 
   // Fig. 6 shape: dynamic power similar at both temperatures; leakage
   // dominated by SRAM at 300 K and nearly gone at 10 K.
@@ -123,6 +123,29 @@ TEST(Flow, ActivityProfileSane) {
   }
   EXPECT_GT(profile.sram_reads_per_cycle.at("l1i_tags"), 0.0);
 }
+
+// The scalar-temperature overloads are deprecated but must keep their
+// historical behavior: any T snaps to the 300 K / 10 K corner (except
+// sram_model, which never snapped) and the returned reference aliases the
+// corner cache's entry, staying valid for the flow's lifetime.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(Flow, DeprecatedScalarShimsSnapToCanonicalCorners) {
+  const auto lib300 = flow().library(flow().corner(300.0));
+  const charlib::Library& shim = flow().library(273.0);  // snaps to 300 K
+  EXPECT_EQ(&shim, lib300.get());
+
+  const auto t10 = flow().timing(flow().corner(10.0));
+  const auto t_shim = flow().timing(77.0);  // snaps to 10 K
+  EXPECT_DOUBLE_EQ(t_shim.critical_delay, t10.critical_delay);
+  EXPECT_DOUBLE_EQ(t_shim.fmax, t10.fmax);
+
+  // sram_model keeps the exact temperature.
+  Corner c77 = flow().corner(77.0);
+  EXPECT_DOUBLE_EQ(c77.temperature, 77.0);
+  EXPECT_EQ(c77.label(), "77k");
+}
+#pragma GCC diagnostic pop
 
 TEST(Flow, DefaultLibDirFindsArtifacts) {
   // In-tree test runs should locate lib/ via the marker file.
@@ -216,7 +239,7 @@ TEST(ArtifactStore, ReusesFreshAndRegeneratesStale) {
 
   // Cold store: characterizes and writes the artifact plus its manifest.
   CryoSocFlow first(config);
-  EXPECT_EQ(first.library(300.0).name, "cryo5_300k");
+  EXPECT_EQ(first.library(first.corner(300.0))->name, "cryo5_300k");
   const fs::path lib_path = dir / "cryo5_300k.lib";
   ASSERT_TRUE(fs::exists(lib_path));
   const auto manifest = liberty::read_manifest(lib_path.string());
@@ -229,7 +252,7 @@ TEST(ArtifactStore, ReusesFreshAndRegeneratesStale) {
   poked.name = "poked";
   liberty::write_file(poked, lib_path.string());
   CryoSocFlow second(config);
-  EXPECT_EQ(second.library(300.0).name, "poked");
+  EXPECT_EQ(second.library(second.corner(300.0))->name, "poked");
 
   // Perturb a fingerprint input (NMOS threshold): the manifest no longer
   // matches, so the library is re-characterized and the artifact rewritten
@@ -240,7 +263,7 @@ TEST(ArtifactStore, ReusesFreshAndRegeneratesStale) {
   shifted.nmos_override = n;
   shifted.pmos_override = device::golden_pmos();
   CryoSocFlow third(shifted);
-  EXPECT_EQ(third.library(300.0).name, "cryo5_300k");
+  EXPECT_EQ(third.library(third.corner(300.0))->name, "cryo5_300k");
   const auto manifest2 = liberty::read_manifest(lib_path.string());
   ASSERT_TRUE(manifest2.has_value());
   EXPECT_NE(manifest2->fingerprint, manifest->fingerprint);
@@ -251,7 +274,7 @@ TEST(ArtifactStore, ReusesFreshAndRegeneratesStale) {
   liberty::write_file(poked2, lib_path.string());
   fs::remove(liberty::manifest_path(lib_path.string()));
   CryoSocFlow fourth(shifted);
-  EXPECT_EQ(fourth.library(300.0).name, "cryo5_300k");
+  EXPECT_EQ(fourth.library(fourth.corner(300.0))->name, "cryo5_300k");
   fs::remove_all(dir);
 }
 
@@ -278,11 +301,11 @@ TEST(ArtifactStore, QuarantinedLibraryIsNeverReused) {
   // The run completes despite the hostile arc: exactly that arc is
   // quarantined, the rest of the library is intact.
   CryoSocFlow first(config);
-  const auto& lib = first.library(300.0);
-  ASSERT_EQ(lib.cells.size(), 2u);
-  ASSERT_EQ(lib.quarantined_arcs.size(), 1u);
-  EXPECT_EQ(lib.quarantined_arcs[0], "INV_BROKEN:A_rise->Z_fall");
-  EXPECT_EQ(lib.cells[0].arcs.size(), 2u);
+  const auto lib = first.library(first.corner(300.0));
+  ASSERT_EQ(lib->cells.size(), 2u);
+  ASSERT_EQ(lib->quarantined_arcs.size(), 1u);
+  EXPECT_EQ(lib->quarantined_arcs[0], "INV_BROKEN:A_rise->Z_fall");
+  EXPECT_EQ(lib->cells[0].arcs.size(), 2u);
 
   // The written manifest records the quarantine ...
   const fs::path lib_path = dir / "cryo5_300k.lib";
@@ -304,9 +327,9 @@ TEST(ArtifactStore, QuarantinedLibraryIsNeverReused) {
   auto& regenerated = obs::registry().counter("artifacts.regenerated");
   const auto regen0 = regenerated.value();
   CryoSocFlow second(config);
-  const auto& lib2 = second.library(300.0);
+  const auto lib2 = second.library(second.corner(300.0));
   EXPECT_EQ(regenerated.value() - regen0, 1u);
-  ASSERT_EQ(lib2.quarantined_arcs.size(), 1u);
+  ASSERT_EQ(lib2->quarantined_arcs.size(), 1u);
 
   // Overriding the cell list perturbs the artifact key, so hostile runs
   // can never collide with catalog artifacts.
