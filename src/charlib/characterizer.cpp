@@ -105,7 +105,7 @@ spice::Circuit Characterizer::cell_circuit(
 }
 
 std::vector<LeakageState> Characterizer::measure_leakage(
-    const cells::CellDef& cell) const {
+    const cells::CellDef& cell, spice::SolveContext& ctx) const {
   // Static pins: data inputs plus, for sequentials, the clock/enable.
   std::vector<std::string> pins = cell.inputs;
   if (cell.sequential) pins.push_back(cell.clock);
@@ -133,7 +133,7 @@ std::vector<LeakageState> Characterizer::measure_leakage(
       }
     }
     spice::Circuit circuit = cell_circuit(cell, drives, "", 0.0);
-    spice::Engine engine(circuit);
+    spice::Engine engine(circuit, &ctx);
     if (cell.sequential) {
       spice::TranOptions tran;
       tran.t_stop = 450e-12;
@@ -159,7 +159,7 @@ std::vector<LeakageState> Characterizer::measure_leakage(
 Characterizer::ArcPoint Characterizer::simulate_arc(
     const cells::CellDef& cell, const cells::TimingArc& arc, double slew,
     double load, const std::vector<LeakageState>& leakage,
-    bool relaxed) const {
+    spice::SolveContext& ctx, bool relaxed) const {
   const double vdd = options_.vdd;
   const double ramp = ramp_of(slew);
   const double start = 2e-12 + 0.5 * slew;
@@ -184,7 +184,7 @@ Characterizer::ArcPoint Characterizer::simulate_arc(
     if (cell.inputs[i] == arc.input) pat_final ^= (1u << i);
 
   spice::Circuit circuit = cell_circuit(cell, drives, arc.output, load);
-  spice::Engine engine(circuit);
+  spice::Engine engine(circuit, &ctx);
 
   // Adaptive window: extend if the output has not settled.
   double settle = 80e-12 + load * 2.5e4;
@@ -224,7 +224,7 @@ Characterizer::ArcPoint Characterizer::simulate_arc(
 
 Characterizer::ArcPoint Characterizer::simulate_clk_arc(
     const cells::CellDef& cell, const cells::TimingArc& arc, double slew,
-    double load, bool relaxed) const {
+    double load, spice::SolveContext& ctx, bool relaxed) const {
   const double vdd = options_.vdd;
   const double ramp = ramp_of(slew);
   const bool target = arc.side_inputs.at("D");
@@ -251,7 +251,7 @@ Characterizer::ArcPoint Characterizer::simulate_clk_arc(
                                  {d_switch + 2e-12, target ? vdd : 0.0}}));
 
   spice::Circuit circuit = cell_circuit(cell, drives, arc.output, load);
-  spice::Engine engine(circuit);
+  spice::Engine engine(circuit, &ctx);
 
   double settle = 120e-12 + load * 2.5e4;
   const int max_attempts = relaxed ? 4 : 3;
@@ -292,13 +292,12 @@ namespace {
 
 // One capture experiment for setup/hold bisection: D moves to `target` at
 // time t_d (absolute); returns true if Q ends at the target value.
-bool capture_ok(const Characterizer& ch,
+bool capture_ok(spice::SolveContext& ctx,
                 const std::function<spice::Circuit(
                     const std::vector<std::pair<std::string,
                                                 spice::Waveform>>&)>& build,
                 double vdd, bool target, double t_d, double t_d_away,
                 double edge, double t_stop) {
-  (void)ch;
   std::vector<std::pair<std::string, spice::Waveform>> drives;
   const double e1 = 10e-12, fall1 = 90e-12;
   drives.emplace_back("CLK", spice::Waveform::pwl({{0.0, 0.0},
@@ -320,7 +319,7 @@ bool capture_ok(const Characterizer& ch,
   drives.emplace_back("D", spice::Waveform::pwl(std::move(dw)));
 
   spice::Circuit circuit = build(drives);
-  spice::Engine engine(circuit);
+  spice::Engine engine(circuit, &ctx);
   spice::TranOptions tran;
   tran.t_stop = t_stop;
   tran.dt_max = 6e-12;
@@ -331,7 +330,8 @@ bool capture_ok(const Characterizer& ch,
 
 }  // namespace
 
-double Characterizer::find_setup(const cells::CellDef& cell) const {
+double Characterizer::find_setup(const cells::CellDef& cell,
+                                 spice::SolveContext& ctx) const {
   // Smallest D-before-clock offset that still captures, worst of both
   // data polarities.
   const auto build = [&](const std::vector<
@@ -344,12 +344,12 @@ double Characterizer::find_setup(const cells::CellDef& cell) const {
   for (bool target : {false, true}) {
     double pass = 80e-12;  // D this early definitely captures
     double fail = 0.0;     // D at the edge definitely misses
-    if (!capture_ok(*this, build, options_.vdd,
+    if (!capture_ok(ctx, build, options_.vdd,
                     target, edge - pass, -1.0, edge, t_stop))
       return 80e-12;  // pathological; report the full window
     for (int i = 0; i < 10; ++i) {
       const double mid = 0.5 * (pass + fail);
-      if (capture_ok(*this, build, options_.vdd,
+      if (capture_ok(ctx, build, options_.vdd,
                      target, edge - mid, -1.0, edge, t_stop))
         pass = mid;
       else
@@ -360,7 +360,8 @@ double Characterizer::find_setup(const cells::CellDef& cell) const {
   return worst;
 }
 
-double Characterizer::find_hold(const cells::CellDef& cell) const {
+double Characterizer::find_hold(const cells::CellDef& cell,
+                                spice::SolveContext& ctx) const {
   // Smallest D-stable-after-clock time: D moves to target well before the
   // edge and moves away `offset` after it; capture must still succeed.
   const auto build = [&](const std::vector<
@@ -373,12 +374,12 @@ double Characterizer::find_hold(const cells::CellDef& cell) const {
   for (bool target : {false, true}) {
     double pass = 60e-12;
     double fail = -20e-12;
-    if (!capture_ok(*this, build, options_.vdd,
+    if (!capture_ok(ctx, build, options_.vdd,
                     target, edge - 100e-12, edge + pass, edge, t_stop))
       return 60e-12;
     for (int i = 0; i < 10; ++i) {
       const double mid = 0.5 * (pass + fail);
-      if (capture_ok(*this, build, options_.vdd,
+      if (capture_ok(ctx, build, options_.vdd,
                      target, edge - 100e-12, edge + mid, edge, t_stop))
         pass = mid;
       else
@@ -402,6 +403,12 @@ CellChar Characterizer::characterize(const cells::CellDef& cell) const {
   CellChar out;
   out.def = cell;
 
+  // One solver context per cell: every engine this characterize() call
+  // constructs shares these workspaces, so after the first arc sizes them
+  // the rest of the grid runs with zero solver-side heap allocations.
+  // Scoped to the cell task, it is never shared across threads.
+  spice::SolveContext ctx;
+
   // Input pin capacitances: sum of gate capacitances of attached devices.
   std::vector<std::string> pins = cell.inputs;
   if (cell.sequential) pins.push_back(cell.clock);
@@ -419,7 +426,7 @@ CellChar Characterizer::characterize(const cells::CellDef& cell) const {
     out.pin_caps.emplace_back(pin, cap);
   }
 
-  out.leakage = measure_leakage(cell);
+  out.leakage = measure_leakage(cell, ctx);
   double acc = 0.0;
   for (const auto& s : out.leakage) acc += s.watts;
   out.leakage_avg =
@@ -446,9 +453,10 @@ CellChar Characterizer::characterize(const cells::CellDef& cell) const {
         const auto point = [&](bool relaxed) {
           return cell.sequential
                      ? simulate_clk_arc(cell, arc, options_.slews[i],
-                                        options_.loads[j], relaxed)
+                                        options_.loads[j], ctx, relaxed)
                      : simulate_arc(cell, arc, options_.slews[i],
-                                    options_.loads[j], out.leakage, relaxed);
+                                    options_.loads[j], out.leakage, ctx,
+                                    relaxed);
         };
         // Grid points that fail at the default solver settings get one
         // relaxed retry; an arc whose point still fails is quarantined
@@ -481,8 +489,8 @@ CellChar Characterizer::characterize(const cells::CellDef& cell) const {
   }
 
   if (cell.sequential && options_.characterize_setup_hold && !cell.is_latch) {
-    out.setup_time = find_setup(cell);
-    out.hold_time = find_hold(cell);
+    out.setup_time = find_setup(cell, ctx);
+    out.hold_time = find_hold(cell, ctx);
   }
   cells_counter.add(1);
   cell_seconds.observe(std::chrono::duration<double>(

@@ -19,6 +19,10 @@
 #include "device/modelcard.hpp"
 #include "spice/circuit.hpp"
 
+namespace cryo::spice {
+class SolveContext;
+}  // namespace cryo::spice
+
 namespace cryo::charlib {
 
 struct CharOptions {
@@ -66,6 +70,12 @@ class Characterizer {
       const std::vector<std::pair<std::string, spice::Waveform>>& drives,
       const std::string& load_pin, double load_farads) const;
 
+  // The per-cell spice::SolveContext (`ctx`) threads the engine's solver
+  // workspaces through every simulation of one characterize() call, so
+  // after the first arc warms the buffers the remaining grid points run
+  // allocation-free. One context per cell task keeps characterize_all's
+  // cell-level parallelism data-race free.
+  //
   // Simulates one combinational arc at one (slew, load) point. `relaxed`
   // is the last-chance retry configuration: larger NR budget, looser LTE
   // acceptance, and more settle-window extensions.
@@ -73,15 +83,19 @@ class Characterizer {
                         const cells::TimingArc& arc, double slew,
                         double load,
                         const std::vector<LeakageState>& leakage,
+                        spice::SolveContext& ctx,
                         bool relaxed = false) const;
   // Simulates one clock->output arc of a sequential cell.
   ArcPoint simulate_clk_arc(const cells::CellDef& cell,
                             const cells::TimingArc& arc, double slew,
-                            double load, bool relaxed = false) const;
-  std::vector<LeakageState> measure_leakage(
-      const cells::CellDef& cell) const;
-  double find_setup(const cells::CellDef& cell) const;
-  double find_hold(const cells::CellDef& cell) const;
+                            double load, spice::SolveContext& ctx,
+                            bool relaxed = false) const;
+  std::vector<LeakageState> measure_leakage(const cells::CellDef& cell,
+                                            spice::SolveContext& ctx) const;
+  double find_setup(const cells::CellDef& cell,
+                    spice::SolveContext& ctx) const;
+  double find_hold(const cells::CellDef& cell,
+                   spice::SolveContext& ctx) const;
 
   device::ModelCard nmos_;
   device::ModelCard pmos_;

@@ -25,7 +25,7 @@ namespace cryo::core {
 
 // Bump whenever the characterization algorithm changes in a way that
 // alters artifact content (grids, measurement windows, leakage method...).
-inline constexpr std::string_view kCharacterizerVersion = "charlib-v2";
+inline constexpr std::string_view kCharacterizerVersion = "charlib-v3";
 
 // FNV-1a 64-bit hash of a byte string.
 std::uint64_t fnv1a64(std::string_view text);

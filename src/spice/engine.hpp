@@ -6,8 +6,16 @@
 // Cells characterized here are small (tens of nodes), so the linear solves
 // use dense LU with partial pivoting; a full SoC is never simulated at the
 // transistor level (that is what the gate-level STA/power tools are for).
+//
+// Hot-path structure: every NR solve stamps the linear skeleton of the MNA
+// system (resistors, capacitor companions, source rows) exactly once into a
+// SolveContext, then each NR iteration memcpy's the skeleton back and
+// restamps only the MOSFET conductances through a precomputed stamp-slot
+// index list. All solver workspaces live in the SolveContext, so a warm
+// transient performs zero heap allocations in its step loop.
 #pragma once
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -24,6 +32,53 @@ struct TranOptions {
   double i_abstol = 1e-9;     // NR current convergence [A]
   double lte_tol = 1e-4;      // local-error acceptance threshold [V]
   int max_nr_iterations = 60;
+};
+
+// Reusable solver workspace: the MNA matrix, its cached linear skeleton,
+// and every per-iteration scratch vector. An Engine owns a private context
+// by default; callers running many solves over many circuits (a
+// characterization arc sweep) construct one context and hand it to every
+// Engine they create, so buffers allocated for the first circuit are
+// reused by all subsequent ones. Buffers only ever grow, and allocations()
+// counts how many times any buffer actually (re)allocated — a warm solver
+// reports zero new allocations, which the golden suite asserts.
+//
+// A context is NOT thread-safe: engines sharing one must run on one thread
+// (charlib uses one context per cell task).
+class SolveContext {
+ public:
+  SolveContext() = default;
+
+  // Workspace (re)allocations since construction. Stays flat across warm
+  // solves; grows only when a circuit needs larger buffers than any seen
+  // before.
+  std::uint64_t allocations() const { return allocations_; }
+
+ private:
+  friend class Engine;
+
+  // Grows `v` to `size` elements, counting real reallocations.
+  void grow(std::vector<double>& v, std::size_t size) {
+    if (v.capacity() < size) ++allocations_;
+    v.resize(size);
+  }
+  void prepare(std::size_t dim, std::size_t n_nodes) {
+    grow(a_lin_, dim * dim);
+    grow(z_lin_, dim);
+    grow(a_, dim * dim);
+    grow(z_, dim);
+    grow(prev_dv_, n_nodes);
+    grow(lu_scale_, dim);
+    grow(x_pred_, dim);
+    grow(x_new_, dim);
+  }
+
+  std::vector<double> a_lin_, z_lin_;  // linear skeleton (per NR solve)
+  std::vector<double> a_, z_;          // working system (per NR iteration)
+  std::vector<double> prev_dv_;        // per-node damping memory
+  std::vector<double> lu_scale_;       // LU column scales
+  std::vector<double> x_pred_, x_new_; // transient predictor / candidate
+  std::uint64_t allocations_ = 0;
 };
 
 // Structured account of how a solve went: which node was worst, how hard
@@ -76,10 +131,12 @@ class TranResult {
 
   // Full solution vector (node voltages then source branch currents) at
   // the last accepted timestep; usable as a warm start for a DC solve.
+  // Assigned once when the transient finishes, not per accepted step.
   const std::vector<double>& final_state() const { return final_state_; }
 
   // Engine-internal appenders.
   void append(double t, const std::vector<double>& x, std::size_t n_nodes);
+  void set_final_state(const std::vector<double>& x) { final_state_ = x; }
 
  private:
   std::vector<std::string> node_names_;
@@ -93,14 +150,18 @@ class TranResult {
 
 class Engine {
  public:
-  explicit Engine(const Circuit& circuit);
+  // `context` lets callers share one solver workspace across many engines
+  // (sequentially — a context is single-threaded); nullptr means the
+  // engine uses its own private context.
+  explicit Engine(const Circuit& circuit, SolveContext* context = nullptr);
 
   // Newton-Raphson DC operating point with sources evaluated at time t.
-  // Convergence ladder: direct solve -> gmin stepping -> source-stepping
-  // continuation (all sources ramped from 0 to full value, each solve
-  // warm-started from the previous scale). Throws SolveError when even
-  // the full ladder fails. The options overload lets callers tighten or
-  // relax the NR budget/tolerances.
+  // Convergence ladder: direct solve -> gmin stepping (with a final polish
+  // at the nominal gmin, so ladder and direct solutions agree) ->
+  // source-stepping continuation (all sources ramped from 0 to full value,
+  // each solve warm-started from the previous scale). Throws SolveError
+  // when even the full ladder fails. The options overload lets callers
+  // tighten or relax the NR budget/tolerances.
   std::vector<double> dc_operating_point(double t = 0.0);
   std::vector<double> dc_operating_point(double t,
                                          const TranOptions& options);
@@ -116,12 +177,34 @@ class Engine {
   // Adaptive-step trapezoidal transient starting from the DC operating
   // point at t = 0. A non-convergent step walks a retry ladder (larger NR
   // budget, then a backward-Euler step, then a reduced timestep) before
-  // SolveError is thrown on timestep underflow.
+  // SolveError is thrown on timestep underflow. Breakpoint clipping never
+  // feeds back into the step controller: landing on a PWL corner caps the
+  // one step (and its retries), not the nominal step size.
   TranResult transient(const TranOptions& options);
 
   // Diagnostics of the most recent top-level solve on this engine (DC or
   // the last transient step), successful or not.
   const SolveDiagnostics& last_diagnostics() const { return last_diag_; }
+
+  // Reference oracle: stamp the full MNA system from scratch on every NR
+  // iteration with per-solve allocated workspaces (the pre-SolveContext
+  // implementation, kept verbatim). The golden suite asserts the
+  // incremental path is bit-identical to it, and perf_microbench uses it
+  // as the recorded baseline for the NR-throughput gate. Step selection is
+  // unchanged by this flag, so traces are directly comparable.
+  void set_reference_stamping(bool on) { reference_stamping_ = on; }
+
+  // Replays the seed step controller verbatim — including the
+  // breakpoint-clipping feedback bug and the per-step bookkeeping copies —
+  // so perf_microbench can benchmark the full pre-PR engine (combine with
+  // set_reference_stamping(true)) on breakpoint-dense workloads. Not an
+  // oracle for trace comparison: the buggy controller picks different
+  // steps by design.
+  void set_reference_step_control(bool on) {
+    reference_step_control_ = on;
+  }
+
+  const SolveContext& context() const { return *ctx_; }
 
  private:
   struct CapState {
@@ -152,15 +235,53 @@ class Engine {
     bool near_singular = false;  // LU flagged an ill-conditioned pivot
   };
 
-  // Builds the linearized MNA system A x = z around x_prev.
-  void build(const std::vector<double>& x_prev, const SolveSetup& setup,
-             const std::vector<CapState>& caps, std::vector<double>& a,
-             std::vector<double>& z) const;
+  // Precomputed flat stamp slots of one MOSFET: the six A-matrix entries
+  // of the Norton linearization, the two z entries, and the x indices of
+  // the gate/drain/source voltages. kDropped marks ground rows/columns.
+  static constexpr std::size_t kDropped = static_cast<std::size_t>(-1);
+  struct MosStamp {
+    std::size_t a_dg, a_dd, a_ds, a_sg, a_sd, a_ss;
+    std::size_t z_d, z_s;
+    std::size_t x_g, x_d, x_s;  // kDropped means the terminal is ground
+  };
+
+  // Stamps the linear skeleton — resistors, capacitor companions, source
+  // rows — into zeroed a/z. Everything here is constant across the NR
+  // iterations of one solve. gmin is NOT part of the skeleton: it must be
+  // added after the MOSFET stamps to preserve the historical per-entry
+  // accumulation order (diagonal entries sum resistor + cap + MOSFET +
+  // gmin contributions in exactly that order, so results stay
+  // bit-identical to the full-rebuild reference).
+  void build_linear(const SolveSetup& setup,
+                    const std::vector<CapState>& caps,
+                    std::vector<double>& a, std::vector<double>& z) const;
+
+  // Restamps the MOSFET conductances linearized around x_prev through the
+  // precomputed slot list.
+  void stamp_mosfets(const std::vector<double>& x_prev,
+                     std::vector<double>& a, std::vector<double>& z) const;
+
+  // Reference full rebuild (the historical Engine::build), used by the
+  // reference stamping mode only.
+  void build_reference(const std::vector<double>& x_prev,
+                       const SolveSetup& setup,
+                       const std::vector<CapState>& caps,
+                       std::vector<double>& a,
+                       std::vector<double>& z) const;
 
   // Solves the NR loop; x in/out.
   NrOutcome solve_nonlinear(std::vector<double>& x, const SolveSetup& setup,
                             const std::vector<CapState>& caps,
                             const TranOptions& options) const;
+  NrOutcome solve_nonlinear_reference(std::vector<double>& x,
+                                      const SolveSetup& setup,
+                                      const std::vector<CapState>& caps,
+                                      const TranOptions& options) const;
+
+  // The seed transient loop, kept verbatim for the reference step-control
+  // mode (clipping feeds the controller, per-step workspace allocations,
+  // per-step final-state copies).
+  TranResult transient_reference(const TranOptions& options);
 
   // Renders an NrOutcome into diagnostics (node names resolved).
   SolveDiagnostics diagnose(const NrOutcome& out, const SolveSetup& setup,
@@ -170,6 +291,11 @@ class Engine {
   std::size_t n_nodes_;
   std::size_t n_sources_;
   std::size_t dim_;
+  std::vector<MosStamp> mos_stamps_;
+  SolveContext owned_ctx_;
+  SolveContext* ctx_;  // owned_ctx_ or a caller-shared context
+  bool reference_stamping_ = false;
+  bool reference_step_control_ = false;
   SolveDiagnostics last_diag_;
 };
 
@@ -195,5 +321,11 @@ inline constexpr double kLuNearSingularRatio = 1e-8;
 // conditioning even on success.
 bool lu_solve(std::vector<double>& a, std::vector<double>& b, std::size_t n,
               LuStats* stats = nullptr);
+
+// Workspace variant: `scale` is caller-owned scratch for the column
+// scales, so repeated solves allocate nothing. Numerically identical to
+// the allocating overload (which forwards here).
+bool lu_solve(std::vector<double>& a, std::vector<double>& b, std::size_t n,
+              std::vector<double>& scale, LuStats* stats);
 
 }  // namespace cryo::spice

@@ -1,12 +1,24 @@
 #include "spice/waveform.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
+#include <stdexcept>
+#include <string>
 
 namespace cryo::spice {
 
 Waveform Waveform::pulse(double v0, double v1, double delay, double rise,
                          double fall, double width, double period) {
+  // value() wraps time modulo period, so every breakpoint of one pulse
+  // must fit inside a single period. A shorter period would silently
+  // truncate the fall tail and next_breakpoint() would emit phantom
+  // edges from the wrapped copy — reject it up front.
+  if (period > 0.0 && period < rise + width + fall)
+    throw std::invalid_argument(
+        "Waveform::pulse: period " + std::to_string(period) +
+        " is shorter than rise + width + fall = " +
+        std::to_string(rise + width + fall));
   // One period worth of breakpoints; value() wraps time modulo period.
   Waveform w({{0.0, v0},
               {delay, v0},
@@ -20,7 +32,21 @@ Waveform Waveform::pulse(double v0, double v1, double delay, double rise,
 double Waveform::value(double t) const {
   if (period_ > 0.0 && t > points_.front().first) {
     const double t0 = points_[1].first;  // delay
-    if (t > t0) t = t0 + std::fmod(t - t0, period_);
+    if (t > t0) {
+      double phase = std::fmod(t - t0, period_);
+      // The fold-back inherits ulp(t), which grows with t while the
+      // corners do not; unsnapped, sampling at an exact period multiple
+      // lands a hair past a corner and reads a sliver of the next ramp.
+      // Snap to the nearest corner within a ppb of the period.
+      const double snap = 1e-9 * period_;
+      for (const auto& [bt, bv] : points_) {
+        if (std::abs(t0 + phase - bt) <= snap) {
+          phase = bt - t0;
+          break;
+        }
+      }
+      t = t0 + phase;
+    }
   }
   if (t <= points_.front().first) return points_.front().second;
   if (t >= points_.back().first) return points_.back().second;

@@ -34,6 +34,41 @@ TEST(Waveform, PulseRepeats) {
   EXPECT_DOUBLE_EQ(clk.value(2.5e-9), 0.0);
 }
 
+TEST(Waveform, PulseRejectsPeriodShorterThanShape) {
+  // One period must fit rise + width + fall; a shorter period would fold
+  // the shape onto itself and silently distort every cycle after the
+  // first.
+  EXPECT_THROW(Waveform::pulse(0.0, 1.0, 0.0, 0.3e-9, 0.3e-9, 0.5e-9,
+                               1.0e-9),
+               std::invalid_argument);
+  // The degenerate exact fit is legal: the waveform toggles continuously.
+  EXPECT_NO_THROW(Waveform::pulse(0.0, 1.0, 0.0, 0.3e-9, 0.3e-9, 0.5e-9,
+                                  1.1e-9));
+}
+
+TEST(Waveform, PulseExactPeriodMultiples) {
+  // Sampling exactly on period multiples (and on corners shifted by whole
+  // periods) must reproduce the first period's values with no drift: the
+  // fold-back arithmetic may not accumulate error across cycles.
+  const double delay = 1e-9, rise = 0.1e-9, fall = 0.1e-9;
+  const double width = 0.9e-9, period = 2e-9;
+  const auto clk = Waveform::pulse(0.0, 1.0, delay, rise, fall, width,
+                                   period);
+  for (int k = 0; k < 5; ++k) {
+    const double t0 = k * period;
+    EXPECT_DOUBLE_EQ(clk.value(t0 + delay), 0.0) << "k=" << k;
+    EXPECT_DOUBLE_EQ(clk.value(t0 + delay + rise), 1.0) << "k=" << k;
+    EXPECT_DOUBLE_EQ(clk.value(t0 + delay + rise + width), 1.0)
+        << "k=" << k;
+    EXPECT_DOUBLE_EQ(clk.value(t0 + delay + rise + width + fall), 0.0)
+        << "k=" << k;
+    // Mid-ramp, shifted by whole periods: off-corner samples keep the
+    // fold-back's ulp(t) error, scaled by the ramp slope.
+    EXPECT_NEAR(clk.value(t0 + delay + 0.5 * rise), 0.5, 1e-12)
+        << "k=" << k;
+  }
+}
+
 TEST(Trace, CrossAndTransition) {
   Trace t;
   t.time = {0.0, 1.0, 2.0, 3.0};
@@ -208,6 +243,97 @@ TEST(Dc, SeriesStackConverges) {
   Engine engine(c);
   const auto x = engine.dc_operating_point();
   EXPECT_GT(x[c.node("y") - 1], 0.65);
+}
+
+TEST(Tran, BreakpointClippingDoesNotCollapseTimestep) {
+  // Regression for the step-control feedback bug: clipping a step to land
+  // on a source breakpoint used to write the clipped dt back into the
+  // controller, so a stimulus with dense breakpoints collapsed the
+  // nominal step and the run crawled back up at 1.5x per accepted step.
+  // The aux source here is a held-level pulse: electrically inert, but it
+  // emits a pair of corners 10 fs apart every 20 ps — the breakpoint
+  // pattern vector-driven decks produce for held pins. Step counts with
+  // and without it must now be within noise of each other.
+  const auto steps = [](bool dense_breakpoints, bool seed_controller) {
+    Circuit c;
+    c.add_vsource("vin", "in", "0",
+                  Waveform::pulse(0.0, 1.0, 20e-12, 50e-12, 50e-12,
+                                  200e-12, 600e-12));
+    c.add_resistor("in", "out", 10000.0);
+    c.add_capacitor("out", "0", 2e-15);
+    if (dense_breakpoints)
+      c.add_vsource("aux", "auxn", "0",
+                    Waveform::pulse(0.7, 0.7, 1e-12, 10e-15, 10e-15,
+                                    10e-12, 20e-12));
+    Engine engine(c);
+    engine.set_reference_step_control(seed_controller);
+    TranOptions opt;
+    opt.t_stop = 600e-12;
+    return engine.transient(opt).sample_count() - 1;
+  };
+  const std::size_t base = steps(false, false);
+  const std::size_t dense = steps(true, false);
+  EXPECT_LE(dense, base * 11 / 10)
+      << "dense breakpoints inflated the step count";
+  // The frozen seed controller documents the bug being guarded against:
+  // the same stimulus used to cost several times the steps.
+  const std::size_t seed_dense = steps(true, true);
+  EXPECT_GE(seed_dense, base * 2);
+}
+
+TEST(Tran, FinalStateMatchesLastSample) {
+  // final_state() is assigned once when the transient finishes (not
+  // copied per accepted step) and must equal the last appended sample for
+  // both node voltages and source branch currents.
+  Circuit c;
+  c.add_vsource("v1", "in", "0", Waveform::ramp(0.0, 1.0, 0.0, 1e-15));
+  c.add_resistor("in", "out", 1000.0);
+  c.add_capacitor("out", "0", 1e-12);
+  Engine engine(c);
+  TranOptions opt;
+  opt.t_stop = 1e-9;
+  const auto result = engine.transient(opt);
+  const auto& fs = result.final_state();
+  ASSERT_EQ(fs.size(), c.node_count() + 1);
+  EXPECT_EQ(fs[c.node("in") - 1], result.node("in").value.back());
+  EXPECT_EQ(fs[c.node("out") - 1], result.node("out").value.back());
+  EXPECT_EQ(fs[c.node_count()], result.source_current("v1").value.back());
+}
+
+TEST(Dc, GminLadderPolishAgreesWithDirect) {
+  // A starved NR budget pushes the stacked-PMOS circuit onto the gmin
+  // ladder. The ladder's last rung converges at gmin = 1e-13, not the
+  // nominal 1e-12, so without the final warm-started polish its answer
+  // differs from the direct solve's by more than roundoff. With it, both
+  // paths agree to the NR voltage tolerance.
+  device::ModelCard p = device::golden_pmos();
+  p.NFIN = 9;
+  device::ModelCard n = device::golden_nmos();
+  n.NFIN = 2;
+  const auto build = [&] {
+    Circuit c;
+    c.add_vsource("vdd", "vdd", "0", Waveform::dc(0.7));
+    c.add_mosfet("m1", "y", "0", "n1", device::FinFet(p, 300.0));
+    c.add_mosfet("m2", "n1", "0", "n2", device::FinFet(p, 300.0));
+    c.add_mosfet("m3", "n2", "0", "vdd", device::FinFet(p, 300.0));
+    c.add_mosfet("m4", "y", "0", "0", device::FinFet(n, 300.0));
+    return c;
+  };
+  Circuit c_direct = build();
+  Engine direct(c_direct);
+  const auto x_direct = direct.dc_operating_point();
+  ASSERT_EQ(direct.last_diagnostics().fallback_path, "direct");
+
+  Circuit c_ladder = build();
+  Engine ladder(c_ladder);
+  TranOptions starved;
+  starved.max_nr_iterations = 4;
+  const auto x_ladder = ladder.dc_operating_point(0.0, starved);
+  ASSERT_EQ(ladder.last_diagnostics().fallback_path, "direct>gmin");
+
+  ASSERT_EQ(x_direct.size(), x_ladder.size());
+  for (std::size_t i = 0; i < x_direct.size(); ++i)
+    EXPECT_NEAR(x_ladder[i], x_direct[i], starved.v_abstol) << "x" << i;
 }
 
 TEST(Tran, SourceCurrentEnergyMatchesLoad) {

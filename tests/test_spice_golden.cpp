@@ -250,6 +250,105 @@ TEST(SolveError, CarriesStructuredDiagnostics) {
   }
 }
 
+// A small switching cell with a pulse-train stimulus: MOSFET stamps, cap
+// companions, source rows, and breakpoint landings all in play — the full
+// surface the incremental stamping path must reproduce.
+Circuit stamping_identity_circuit(double temperature) {
+  device::ModelCard n = device::golden_nmos();
+  n.NFIN = 2;
+  device::ModelCard p = device::golden_pmos();
+  p.NFIN = 3;
+  Circuit c;
+  c.add_vsource("vdd", "vdd", "0", Waveform::dc(0.7));
+  c.add_vsource("va", "a", "0",
+                Waveform::pulse(0.0, 0.7, 5e-12, 4e-12, 4e-12, 16e-12,
+                                40e-12));
+  c.add_vsource("vb", "b", "0",
+                Waveform::pulse(0.0, 0.7, 11e-12, 4e-12, 4e-12, 20e-12,
+                                56e-12));
+  c.add_mosfet("mpa", "out", "a", "vdd", device::FinFet(p, temperature));
+  c.add_mosfet("mpb", "out", "b", "vdd", device::FinFet(p, temperature));
+  c.add_mosfet("mna", "out", "a", "mid", device::FinFet(n, temperature));
+  c.add_mosfet("mnb", "mid", "b", "0", device::FinFet(n, temperature));
+  c.add_resistor("out", "load", 500.0);
+  c.add_capacitor("load", "0", 2e-15);
+  return c;
+}
+
+class StampingBitIdentity : public ::testing::TestWithParam<double> {};
+
+TEST_P(StampingBitIdentity, TransientTracesAreExactlyEqual) {
+  // The incremental path (cached skeleton + memcpy + MOSFET-only restamp)
+  // must reproduce the reference full-rebuild path bit for bit: same
+  // accumulation order means the same floating-point sums, so node traces
+  // compare with EXPECT_EQ on raw doubles — the property that lets the
+  // committed Liberty artifacts stand without a characterizer version
+  // bump.
+  Circuit c = stamping_identity_circuit(GetParam());
+  TranOptions opt;
+  opt.t_stop = 200e-12;
+
+  Engine reference(c);
+  reference.set_reference_stamping(true);
+  const auto r_ref = reference.transient(opt);
+
+  Engine incremental(c);
+  const auto r_inc = incremental.transient(opt);
+
+  for (const char* node : {"a", "b", "mid", "out", "load", "vdd"}) {
+    const auto t_ref = r_ref.node(node);
+    const auto t_inc = r_inc.node(node);
+    ASSERT_EQ(t_ref.time.size(), t_inc.time.size()) << node;
+    for (std::size_t i = 0; i < t_ref.time.size(); ++i) {
+      ASSERT_EQ(t_ref.time[i], t_inc.time[i]) << node << " sample " << i;
+      ASSERT_EQ(t_ref.value[i], t_inc.value[i]) << node << " sample " << i;
+    }
+  }
+  ASSERT_EQ(r_ref.final_state(), r_inc.final_state());
+}
+
+INSTANTIATE_TEST_SUITE_P(Temperatures, StampingBitIdentity,
+                         ::testing::Values(300.0, 10.0));
+
+TEST(SolveContext, WarmTransientIsAllocationFree) {
+  // After one warm-up run has sized every workspace, repeated transients
+  // through the same context must not touch the heap via any context
+  // buffer — the property that makes arc sweeps allocation-free in steady
+  // state.
+  Circuit c = stamping_identity_circuit(300.0);
+  SolveContext ctx;
+  Engine engine(c, &ctx);
+  TranOptions opt;
+  opt.t_stop = 200e-12;
+  engine.transient(opt);  // warm-up sizes all buffers
+  const std::uint64_t warm = ctx.allocations();
+  EXPECT_GT(warm, 0u);
+  engine.transient(opt);
+  engine.transient(opt);
+  EXPECT_EQ(ctx.allocations(), warm);
+}
+
+TEST(SolveContext, IsReusedAcrossCircuits) {
+  // One context threaded through engines for different circuits (the
+  // characterizer's per-cell pattern): the second, smaller circuit fits in
+  // the first circuit's buffers and allocates nothing new.
+  SolveContext ctx;
+  Circuit big = stamping_identity_circuit(300.0);
+  Engine big_engine(big, &ctx);
+  TranOptions opt;
+  opt.t_stop = 100e-12;
+  big_engine.transient(opt);
+  const std::uint64_t after_big = ctx.allocations();
+
+  Circuit small;
+  small.add_vsource("v1", "in", "0", Waveform::ramp(0.0, 1.0, 0.0, 1e-12));
+  small.add_resistor("in", "out", 1000.0);
+  small.add_capacitor("out", "0", 1e-15);
+  Engine small_engine(small, &ctx);
+  small_engine.transient(opt);
+  EXPECT_EQ(ctx.allocations(), after_big);
+}
+
 TEST(LuSolve, RejectsIllConditionedRelative) {
   // Scaled near-singular system: every entry is far above the old 1e-300
   // absolute floor, but the second pivot collapses relative to its
