@@ -21,8 +21,11 @@
 #include <thread>
 #include <vector>
 
+#include <cmath>
+
 #include "bench_util.hpp"
 #include "cells/celldef.hpp"
+#include "cells/flatten.hpp"
 #include "charlib/characterizer.hpp"
 #include "device/finfet.hpp"
 #include "device/ids_cache.hpp"
@@ -329,6 +332,210 @@ void run_nr_throughput(obs::BenchReport& report) {
   std::printf("  min speedup: %.2fx (gate: >= 1.5x)\n", min_speedup);
 }
 
+// --- Sparse MNA scaling: cell scale to block scale ---------------------
+//
+// Three workload tiers, all recorded in the sparse_scaling section:
+//
+//   cell        the NR-throughput NAND2 vector netlist (dim 8), dense
+//               core vs sparse core on identical warm transients. The
+//               sparse refactorization touches O(nnz) values where dense
+//               LU touches dim^2, so sparse must hold its own even here
+//               (CI gates the ratio).
+//   replicated  the golden suite's hostile net appended 4x/16x/64x with
+//               weakly coupled local rails (dim 24/96/384). Per-NR-
+//               iteration DC solve cost fits a log-log scaling exponent
+//               that CI gates well below the dense core's cubic.
+//   sram        a transistor-level 64x4 SRAM column array (dim 526, past
+//               the >=500-node block-scale bar), solved through the kAuto
+//               path. Its per-iteration cost vs the smallest replicated
+//               net gives an implied exponent CI gates sub-cubic.
+
+spice::Circuit sparse_bench_hostile(int copies) {
+  device::ModelCard n = device::golden_nmos();
+  n.NFIN = 4;
+  device::ModelCard p = device::golden_pmos();
+  p.NFIN = 6;
+  spice::Circuit base;
+  base.add_vsource("vhv", "hv", "0", spice::Waveform::dc(30.0));
+  base.add_resistor("hv", "vddl", 42000.0);
+  base.add_resistor("vddl", "0", 1000.0);
+  base.add_mosfet("mp1", "q", "qb", "vddl", device::FinFet(p, 300.0));
+  base.add_mosfet("mn1", "q", "qb", "0", device::FinFet(n, 300.0));
+  base.add_mosfet("mp2", "qb", "q", "vddl", device::FinFet(p, 300.0));
+  base.add_mosfet("mn2", "qb", "q", "0", device::FinFet(n, 300.0));
+  base.add_mosfet("mf", "q", "float_g", "0", device::FinFet(n, 300.0));
+  spice::Circuit c;
+  for (int i = 0; i < copies; ++i)
+    c.append_copy(base, "c" + std::to_string(i) + ".");
+  for (int i = 0; i + 1 < copies; ++i)
+    c.add_resistor("c" + std::to_string(i) + ".vddl",
+                   "c" + std::to_string(i + 1) + ".vddl", 1e6);
+  return c;
+}
+
+void run_sparse_scaling(obs::BenchReport& report) {
+  using clock = std::chrono::steady_clock;
+  const bool quick = [] {
+    const char* env = std::getenv("CRYOSOC_BENCH_QUICK");
+    return env && *env && *env != '0';
+  }();
+  auto& nr_counter = cryo::obs::registry().counter("spice.nr_iterations");
+  auto& fill_gauge = cryo::obs::registry().gauge("spice.fill_nnz");
+  auto& section = report.results()["sparse_scaling"];
+  section["quick"] = quick;
+  std::printf("\nsparse MNA scaling%s\n", quick ? " (quick mode)" : "");
+
+  // Cell scale: identical warm vector transients through both cores.
+  {
+    spice::Circuit cell = nr_bench_vector_nand2(300.0);
+    const std::size_t dim = cell.node_count() + cell.vsources().size();
+    spice::SolveContext dense_ctx, sparse_ctx;
+    spice::Engine dense_engine(cell, &dense_ctx);
+    dense_engine.set_solver(spice::LinearSolver::kDense);
+    spice::Engine sparse_engine(cell, &sparse_ctx);
+    sparse_engine.set_solver(spice::LinearSolver::kSparse);
+    spice::TranOptions opt;
+    opt.t_stop = 320e-12;
+    std::size_t sink = dense_engine.transient(opt).sample_count();
+    sink += sparse_engine.transient(opt).sample_count();
+    const int reps = quick ? 3 : 10;
+    double dense_s = 1e300, sparse_s = 1e300;
+    const auto timed = [&](spice::Engine& engine) {
+      const auto t0 = clock::now();
+      for (int r = 0; r < reps; ++r)
+        sink += engine.transient(opt).sample_count();
+      return std::chrono::duration<double>(clock::now() - t0).count();
+    };
+    for (int p = 0; p < 5; ++p) {
+      dense_s = std::min(dense_s, timed(dense_engine));
+      sparse_s = std::min(sparse_s, timed(sparse_engine));
+    }
+    benchmark::DoNotOptimize(sink);
+    const double speedup = dense_s / sparse_s;
+    std::printf("  cell (dim %zu): dense %.3f ms  sparse %.3f ms  "
+                "sparse/dense speedup %.2fx (gate: >= 0.9x)\n",
+                dim, 1e3 * dense_s / reps, 1e3 * sparse_s / reps, speedup);
+    auto& cell_row = section["cell"];
+    cell_row["dim"] = dim;
+    cell_row["dense_seconds"] = dense_s / reps;
+    cell_row["sparse_seconds"] = sparse_s / reps;
+    cell_row["speedup_sparse_vs_dense"] = speedup;
+  }
+
+  // Per-NR-iteration DC solve cost of a circuit through one core. The
+  // warm-up solve sizes the context, runs the symbolic analysis, and
+  // fills the device caches; the timed solves then measure the steady
+  // state the characterizer-style loops live in.
+  const auto per_iter_cost = [&](const spice::Circuit& c,
+                                 spice::LinearSolver solver, int reps) {
+    spice::SolveContext ctx;
+    spice::Engine engine(c, &ctx);
+    engine.set_solver(solver);
+    benchmark::DoNotOptimize(engine.dc_operating_point()[0]);
+    const std::uint64_t it0 = nr_counter.value();
+    const auto t0 = clock::now();
+    for (int r = 0; r < reps; ++r)
+      benchmark::DoNotOptimize(engine.dc_operating_point()[0]);
+    const double dt =
+        std::chrono::duration<double>(clock::now() - t0).count();
+    const std::uint64_t iters = nr_counter.value() - it0;
+    return dt / static_cast<double>(iters > 0 ? iters : 1);
+  };
+
+  // Replicated hostile nets: the scaling family. The smallest net is the
+  // baseline the SRAM block below compares against.
+  double smallest_cost = 0.0, smallest_dim = 0.0;
+  {
+    auto& rows = section["replicated"]["nets"];
+    std::vector<double> log_dim, log_cost;
+    const int reps = quick ? 2 : 4;
+    for (const int copies : {4, 16, 64}) {
+      const spice::Circuit c = sparse_bench_hostile(copies);
+      const std::size_t dim = c.node_count() + c.vsources().size();
+      // Force the sparse core: 4x and 16x sit below the kAuto threshold
+      // but belong to the same fit.
+      const double sparse_cost =
+          per_iter_cost(c, spice::LinearSolver::kSparse, reps);
+      const double fill = fill_gauge.value();
+      // Dense reference where its cubic cost is still affordable; at 64x
+      // it is the wall this section exists to demonstrate.
+      const double dense_cost =
+          copies <= 16 ? per_iter_cost(c, spice::LinearSolver::kDense, reps)
+                       : 0.0;
+      if (copies == 4) {
+        smallest_cost = sparse_cost;
+        smallest_dim = static_cast<double>(dim);
+      }
+      log_dim.push_back(std::log(static_cast<double>(dim)));
+      log_cost.push_back(std::log(sparse_cost));
+      std::printf("  hostile x%-2d (dim %4zu): sparse %8.2f us/iter  "
+                  "fill %6.0f nnz%s%8.2f us/iter dense\n",
+                  copies, dim, 1e6 * sparse_cost, fill,
+                  copies <= 16 ? "  " : "  (skipped) ",
+                  1e6 * dense_cost);
+      auto row = obs::Json::object();
+      row["copies"] = copies;
+      row["dim"] = dim;
+      row["sparse_per_iter_seconds"] = sparse_cost;
+      row["fill_nnz"] = fill;
+      if (copies <= 16) row["dense_per_iter_seconds"] = dense_cost;
+      rows.push_back(std::move(row));
+    }
+    // Least-squares slope of log(cost) vs log(dim): the measured scaling
+    // exponent. Dense LU would trend toward 3 as the factor dominates;
+    // the sparse core on these near-block-diagonal patterns stays near
+    // O(nnz) ~ 1 (device evaluation, also linear, keeps it honest).
+    double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+    const double n = static_cast<double>(log_dim.size());
+    for (std::size_t i = 0; i < log_dim.size(); ++i) {
+      sx += log_dim[i];
+      sy += log_cost[i];
+      sxx += log_dim[i] * log_dim[i];
+      sxy += log_dim[i] * log_cost[i];
+    }
+    const double exponent = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+    section["replicated"]["scaling_exponent"] = exponent;
+    std::printf("  replicated scaling exponent: %.2f (gate: < 2.5, dense "
+                "LU is 3)\n", exponent);
+  }
+
+  // Block-scale SRAM column array through the kAuto path.
+  {
+    cells::NetlistFlattener flattener(device::golden_nmos(),
+                                      device::golden_pmos(), 300.0);
+    cells::SramColumnSpec spec;
+    spec.rows = 64;
+    spec.cols = 4;
+    cells::SramColumn column = cells::make_sram_column(flattener, spec);
+    const std::size_t dim =
+        column.circuit.node_count() + column.circuit.vsources().size();
+    spice::Engine probe(column.circuit);
+    const bool auto_sparse =
+        probe.effective_solver() == spice::LinearSolver::kSparse;
+    const double cost =
+        per_iter_cost(column.circuit, spice::LinearSolver::kAuto,
+                      quick ? 1 : 2);
+    const double fill = fill_gauge.value();
+    // Sub-cubic demonstration for the >=500-node acceptance bar: the
+    // implied exponent from the smallest replicated net to here.
+    const double implied =
+        std::log(cost / smallest_cost) /
+        std::log(static_cast<double>(dim) / smallest_dim);
+    auto& sram = section["sram"];
+    sram["rows"] = spec.rows;
+    sram["cols"] = spec.cols;
+    sram["dim"] = dim;
+    sram["auto_selects_sparse"] = auto_sparse;
+    sram["per_iter_seconds"] = cost;
+    sram["fill_nnz"] = fill;
+    sram["implied_exponent_vs_smallest"] = implied;
+    std::printf("  sram 64x4 (dim %zu, kAuto->%s): %8.2f us/iter  fill "
+                "%6.0f nnz  implied exponent %.2f (gate: < 3)\n",
+                dim, auto_sparse ? "sparse" : "DENSE", 1e6 * cost, fill,
+                implied);
+  }
+}
+
 // Characterization scaling: the paper's 2x-library hot path. A catalog
 // subset keeps the run in seconds; speedup extrapolates since cells are
 // independent tasks.
@@ -403,6 +610,7 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   run_nr_throughput(report);
+  run_sparse_scaling(report);
   run_charlib_scaling(report);
   return 0;
 }

@@ -58,4 +58,19 @@ void Circuit::add_mosfet(const std::string& name, const std::string& drain,
   capacitors_.push_back({s, kGround, caps.csb});
 }
 
+void Circuit::append_copy(const Circuit& other, const std::string& prefix) {
+  const auto map = [&](NodeId id) {
+    return id == kGround ? kGround : node(prefix + other.node_name(id));
+  };
+  for (const Resistor& r : other.resistors_)
+    resistors_.push_back({map(r.a), map(r.b), r.ohms});
+  for (const Capacitor& c : other.capacitors_)
+    capacitors_.push_back({map(c.a), map(c.b), c.farads});
+  for (const VoltageSource& v : other.vsources_)
+    vsources_.push_back({map(v.pos), map(v.neg), v.wave, prefix + v.name});
+  for (const Mosfet& m : other.mosfets_)
+    mosfets_.push_back(
+        {map(m.drain), map(m.gate), map(m.source), m.fet, prefix + m.name});
+}
+
 }  // namespace cryo::spice

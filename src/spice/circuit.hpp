@@ -61,6 +61,13 @@ class Circuit {
                   const std::string& gate, const std::string& source,
                   const device::FinFet& fet);
 
+  // Appends a full copy of `other`, renaming every non-ground node (and
+  // every element) to "<prefix><name>"; ground stays shared. Elements are
+  // copied raw, so device capacitances are not re-derived (they are
+  // already in `other`). Used to replicate a small net into a block-scale
+  // system (e.g. the N-fold hostile nets the sparse-scaling bench runs).
+  void append_copy(const Circuit& other, const std::string& prefix);
+
   const std::vector<Resistor>& resistors() const { return resistors_; }
   const std::vector<Capacitor>& capacitors() const { return capacitors_; }
   const std::vector<VoltageSource>& vsources() const { return vsources_; }

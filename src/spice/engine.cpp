@@ -1,6 +1,7 @@
 #include "spice/engine.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <limits>
@@ -75,6 +76,32 @@ obs::Counter& stamp_incremental_counter() {
   static obs::Counter& c =
       obs::registry().counter("spice.stamp_incremental");
   return c;
+}
+// Sparse-core accounting: one `symbolic_analyses` per pattern+ordering
+// build (O(topologies) — test_obs asserts it never scales with NR
+// iterations), one `numeric_refactors` per frozen-pattern numeric pass.
+// The gauge holds nnz(L+U) of the most recent full factorization.
+obs::Counter& symbolic_analyses_counter() {
+  static obs::Counter& c =
+      obs::registry().counter("spice.symbolic_analyses");
+  return c;
+}
+obs::Counter& numeric_refactors_counter() {
+  static obs::Counter& c =
+      obs::registry().counter("spice.numeric_refactors");
+  return c;
+}
+obs::Gauge& fill_nnz_gauge() {
+  static obs::Gauge& g = obs::registry().gauge("spice.fill_nnz");
+  return g;
+}
+
+// Owner tags for SolveContext sparse state: each engine gets a process-
+// unique id, so a pooled context can tell "same engine, reuse the frozen
+// symbolic work" from "new engine, re-analyze".
+std::uint64_t next_engine_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::string short_double(double v) {
@@ -191,7 +218,8 @@ Engine::Engine(const Circuit& circuit, SolveContext* context)
       n_nodes_(circuit.node_count()),
       n_sources_(circuit.vsources().size()),
       dim_(n_nodes_ + n_sources_),
-      ctx_(context != nullptr ? context : &owned_ctx_) {
+      ctx_(context != nullptr ? context : &owned_ctx_),
+      engine_id_(next_engine_id()) {
   // Precompute the flat stamp slots of every MOSFET. The six A entries and
   // two z entries are re-stamped on every NR iteration; resolving the
   // row/column arithmetic and the ground drops once keeps that loop to
@@ -324,6 +352,239 @@ void Engine::stamp_mosfets(const std::vector<double>& x_prev,
   }
 }
 
+// Sparse core. The coordinate list below and the stamping routines walk
+// the circuit in ONE fixed occurrence order — resistors (4 entries each),
+// capacitors (4), source rows (4), MOSFETs (6), then the per-node gmin
+// diagonal — so slot_of()[occurrence] lines up by construction. Ground
+// rows/columns carry kNoSlot and are skipped, exactly like the dense
+// path's kDropped.
+void Engine::ensure_sparse() const {
+  SolveContext& ctx = *ctx_;
+  if (ctx.sparse_owner_ == engine_id_ && ctx.sparse_lu_.analyzed()) return;
+  std::vector<sparse::Coord> coords;
+  coords.reserve(4 * circuit_.resistors().size() +
+                 4 * circuit_.capacitors().size() +
+                 4 * circuit_.vsources().size() +
+                 6 * circuit_.mosfets().size() + n_nodes_);
+  const auto m = [](NodeId id) {
+    return static_cast<std::int32_t>(id) - 1;  // ground -> -1 (dropped)
+  };
+  const auto pair2 = [&](std::int32_t a, std::int32_t b) {
+    coords.push_back({a, a});
+    coords.push_back({b, b});
+    coords.push_back({a, b});
+    coords.push_back({b, a});
+  };
+  for (const Resistor& res : circuit_.resistors()) pair2(m(res.a), m(res.b));
+  for (const Capacitor& cap : circuit_.capacitors())
+    pair2(m(cap.a), m(cap.b));
+  for (std::size_t k = 0; k < circuit_.vsources().size(); ++k) {
+    const VoltageSource& src = circuit_.vsources()[k];
+    const std::int32_t row = static_cast<std::int32_t>(n_nodes_ + k);
+    coords.push_back({row, m(src.pos)});
+    coords.push_back({row, m(src.neg)});
+    coords.push_back({m(src.pos), row});
+    coords.push_back({m(src.neg), row});
+  }
+  for (const Mosfet& fet : circuit_.mosfets()) {
+    const std::int32_t d = m(fet.drain), g = m(fet.gate), s = m(fet.source);
+    coords.push_back({d, g});
+    coords.push_back({d, d});
+    coords.push_back({d, s});
+    coords.push_back({s, g});
+    coords.push_back({s, d});
+    coords.push_back({s, s});
+  }
+  for (std::size_t i = 0; i < n_nodes_; ++i) {
+    const std::int32_t d = static_cast<std::int32_t>(i);
+    coords.push_back({d, d});
+  }
+  ctx.sparse_lu_.analyze(dim_, coords, &ctx.allocations_);
+  ctx.sparse_owner_ = engine_id_;
+  symbolic_analyses_counter().add(1);
+}
+
+void Engine::build_linear_sparse(const SolveSetup& setup,
+                                 const std::vector<CapState>& caps,
+                                 std::vector<double>& vals,
+                                 std::vector<double>& z) const {
+  const std::vector<std::int32_t>& slot = ctx_->sparse_lu_.slot_of();
+  std::fill(vals.begin(), vals.end(), 0.0);
+  std::fill(z.begin(), z.end(), 0.0);
+
+  std::size_t c = 0;  // running occurrence index into slot_of
+  const auto add_a = [&](double v) {
+    const std::int32_t s = slot[c++];
+    if (s >= 0) vals[static_cast<std::size_t>(s)] += v;
+  };
+  const auto stamp_z = [&](int row, double v) {
+    if (row >= 0) z[static_cast<std::size_t>(row)] += v;
+  };
+  const auto r = [](NodeId id) { return static_cast<int>(id) - 1; };
+
+  for (const Resistor& res : circuit_.resistors()) {
+    const double g = 1.0 / res.ohms;
+    add_a(g);
+    add_a(g);
+    add_a(-g);
+    add_a(-g);
+  }
+
+  for (std::size_t i = 0; i < circuit_.capacitors().size(); ++i) {
+    const Capacitor& cap = circuit_.capacitors()[i];
+    if (!setup.transient || cap.farads <= 0.0) {
+      c += 4;  // occurrence slots exist even when the stamp is skipped
+      continue;
+    }
+    // Same companions as the dense build (see build_linear).
+    const double geq = setup.backward_euler ? cap.farads / setup.h
+                                            : 2.0 * cap.farads / setup.h;
+    const double ieq = setup.backward_euler
+                           ? -geq * caps[i].voltage
+                           : -geq * caps[i].voltage - caps[i].current;
+    add_a(geq);
+    add_a(geq);
+    add_a(-geq);
+    add_a(-geq);
+    stamp_z(r(cap.a), -ieq);
+    stamp_z(r(cap.b), ieq);
+  }
+
+  for (std::size_t k = 0; k < circuit_.vsources().size(); ++k) {
+    const VoltageSource& src = circuit_.vsources()[k];
+    const int row = static_cast<int>(n_nodes_ + k);
+    add_a(1.0);
+    add_a(-1.0);
+    stamp_z(row, setup.source_scale * src.wave.value(setup.t));
+    add_a(1.0);
+    add_a(-1.0);
+  }
+}
+
+void Engine::stamp_mosfets_sparse(const std::vector<double>& x_prev,
+                                  std::vector<double>& vals,
+                                  std::vector<double>& z) const {
+  const std::vector<std::int32_t>& slot = ctx_->sparse_lu_.slot_of();
+  std::size_t c = 4 * circuit_.resistors().size() +
+                  4 * circuit_.capacitors().size() +
+                  4 * circuit_.vsources().size();
+  const auto add_a = [&](double v) {
+    const std::int32_t s = slot[c++];
+    if (s >= 0) vals[static_cast<std::size_t>(s)] += v;
+  };
+  const auto& mosfets = circuit_.mosfets();
+  for (std::size_t k = 0; k < mosfets.size(); ++k) {
+    const MosStamp& s = mos_stamps_[k];
+    const double vg = s.x_g == kDropped ? 0.0 : x_prev[s.x_g];
+    const double vd = s.x_d == kDropped ? 0.0 : x_prev[s.x_d];
+    const double vs = s.x_s == kDropped ? 0.0 : x_prev[s.x_s];
+    const double vgs = vg - vs;
+    const double vds = vd - vs;
+    const auto cond = mosfets[k].fet.conductances(vgs, vds);
+    const double ieq = cond.ids - cond.gm * vgs - cond.gds * vds;
+    add_a(cond.gm);
+    add_a(cond.gds);
+    add_a(-(cond.gm + cond.gds));
+    add_a(-cond.gm);
+    add_a(-cond.gds);
+    add_a(cond.gm + cond.gds);
+    if (s.z_d != kDropped) z[s.z_d] += -ieq;
+    if (s.z_s != kDropped) z[s.z_s] += ieq;
+  }
+}
+
+Engine::NrOutcome Engine::solve_nonlinear_sparse(
+    std::vector<double>& x, const SolveSetup& setup,
+    const std::vector<CapState>& caps, const TranOptions& options) const {
+  const std::size_t n = dim_;
+  SolveContext& ctx = *ctx_;
+  ctx.prepare(n, n_nodes_, /*dense=*/false);
+  ensure_sparse();
+  sparse::SparseLu& lu = ctx.sparse_lu_;
+  std::vector<double>& vals = lu.values();
+  std::vector<double>& rhs = ctx.z_;  // skeleton copy, then LU solution
+  std::vector<double>& prev_dv = ctx.prev_dv_;
+  std::fill(prev_dv.begin(), prev_dv.end(), 0.0);
+
+  // Same shape as the dense path: the linear skeleton — now a CSC value
+  // array — is stamped once per solve, memcpy'd back each iteration, and
+  // only the MOSFETs restamp. The factorization goes one step further:
+  // the pattern and pivot order freeze on the first factor, and later
+  // iterations run the numeric-only refactorization.
+  build_linear_sparse(setup, caps, lu.skeleton(), ctx.z_lin_);
+  const std::size_t gmin_base =
+      4 * circuit_.resistors().size() + 4 * circuit_.capacitors().size() +
+      4 * circuit_.vsources().size() + 6 * circuit_.mosfets().size();
+  const std::vector<std::int32_t>& slot = lu.slot_of();
+
+  NrOutcome out;
+  std::uint64_t refactors = 0;
+  const auto finish = [&](int iters, bool converged) {
+    nr_iterations_counter().add(static_cast<std::uint64_t>(iters));
+    stamp_full_counter().add(1);
+    stamp_incremental_counter().add(static_cast<std::uint64_t>(iters));
+    if (refactors > 0) numeric_refactors_counter().add(refactors);
+    if (!converged) nr_nonconverged_counter().add(1);
+    if (out.near_singular) near_singular_counter().add(1);
+    out.iterations = iters;
+    out.converged = converged;
+    return out;
+  };
+  for (int iter = 0; iter < options.max_nr_iterations; ++iter) {
+    std::copy(lu.skeleton().begin(), lu.skeleton().end(), vals.begin());
+    std::copy(ctx.z_lin_.begin(), ctx.z_lin_.end(), rhs.begin());
+    stamp_mosfets_sparse(x, vals, rhs);
+    for (std::size_t i = 0; i < n_nodes_; ++i)
+      vals[static_cast<std::size_t>(slot[gmin_base + i])] += setup.gmin;
+
+    sparse::FactorStats fs;
+    sparse::FactorStatus st;
+    if (!lu.factored()) {
+      st = lu.factor(&fs, &ctx.allocations_);
+      if (st == sparse::FactorStatus::kOk)
+        fill_nnz_gauge().set(static_cast<double>(lu.fill_nnz()));
+    } else {
+      ++refactors;
+      st = lu.refactor(&fs);
+      if (st == sparse::FactorStatus::kRepivot) {
+        st = lu.factor(&fs, &ctx.allocations_);
+        if (st == sparse::FactorStatus::kOk)
+          fill_nnz_gauge().set(static_cast<double>(lu.fill_nnz()));
+      }
+    }
+    if (st != sparse::FactorStatus::kOk) {
+      out.singular = true;
+      return finish(iter + 1, false);
+    }
+    out.near_singular |= fs.near_singular;
+    lu.solve(rhs);
+
+    // Identical limiting/damping/acceptance to the dense path.
+    const double limit =
+        iter < 12 ? 0.4 : std::max(0.4 * std::pow(0.7, iter - 12), 1e-4);
+    double max_dv = 0.0, max_di = 0.0;
+    for (std::size_t i = 0; i < n_nodes_; ++i) {
+      double dv = clamp(rhs[i] - x[i], -limit, limit);
+      if (dv * prev_dv[i] < 0.0) dv *= 0.5;
+      prev_dv[i] = dv;
+      if (std::abs(dv) > max_dv) {
+        max_dv = std::abs(dv);
+        out.worst_node = i;
+      }
+      x[i] += dv;
+    }
+    for (std::size_t i = n_nodes_; i < n; ++i) {
+      const double di = rhs[i] - x[i];
+      max_di = std::max(max_di, std::abs(di));
+      x[i] = rhs[i];
+    }
+    out.worst_dv = max_dv;
+    if (max_dv < options.v_abstol && max_di < options.i_abstol)
+      return finish(iter + 1, true);
+  }
+  return finish(options.max_nr_iterations, false);
+}
+
 void Engine::build_reference(const std::vector<double>& x_prev,
                              const SolveSetup& setup,
                              const std::vector<CapState>& caps,
@@ -416,6 +677,8 @@ Engine::NrOutcome Engine::solve_nonlinear(std::vector<double>& x,
                                           const TranOptions& options) const {
   if (reference_stamping_)
     return solve_nonlinear_reference(x, setup, caps, options);
+  if (effective_solver() == LinearSolver::kSparse)
+    return solve_nonlinear_sparse(x, setup, caps, options);
   const std::size_t n = dim_;
   SolveContext& ctx = *ctx_;
   ctx.prepare(n, n_nodes_);
@@ -834,8 +1097,10 @@ TranResult Engine::transient(const TranOptions& options) {
   bool have_prev = false;
 
   // Per-step work vectors live in the context: a warm transient allocates
-  // nothing inside this loop (asserted by the golden suite).
-  ctx_->prepare(dim_, n_nodes_);
+  // nothing inside this loop (asserted by the golden suite). The sparse
+  // core never touches the dense dim^2 buffers, so skip them.
+  ctx_->prepare(dim_, n_nodes_,
+                effective_solver() != LinearSolver::kSparse);
   std::vector<double>& x_pred = ctx_->x_pred_;
   std::vector<double>& x_new = ctx_->x_new_;
 

@@ -15,14 +15,23 @@
 // transient performs zero heap allocations in its step loop.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "spice/circuit.hpp"
+#include "spice/sparse.hpp"
 
 namespace cryo::spice {
+
+// Which linear-solver core the NR loop runs on. kAuto picks dense for
+// cell-scale systems (where dense LU's cache behavior and lack of pattern
+// bookkeeping win, and where the committed Liberty artifacts pin the exact
+// bit pattern) and sparse at block scale; kDense / kSparse force a path
+// for oracles and tests.
+enum class LinearSolver { kAuto, kDense, kSparse };
 
 struct TranOptions {
   double t_stop = 1e-9;       // simulation end time [s]
@@ -62,15 +71,42 @@ class SolveContext {
     if (v.capacity() < size) ++allocations_;
     v.resize(size);
   }
-  void prepare(std::size_t dim, std::size_t n_nodes) {
-    grow(a_lin_, dim * dim);
+  // `dense` skips the O(dim^2) matrix buffers when the sparse core is
+  // active (they would dominate the context's footprint at block scale).
+  void prepare(std::size_t dim, std::size_t n_nodes, bool dense = true) {
+    if (dense) {
+      grow(a_lin_, dim * dim);
+      grow(a_, dim * dim);
+    }
     grow(z_lin_, dim);
-    grow(a_, dim * dim);
     grow(z_, dim);
     grow(prev_dv_, n_nodes);
     grow(lu_scale_, dim);
     grow(x_pred_, dim);
     grow(x_new_, dim);
+    // Pooled reuse across circuits: buffers sized for a larger previous
+    // circuit keep that circuit's tail data, and grow() never clears. All
+    // current consumers overwrite their active slice before reading, but
+    // that is an invariant of each consumer, not of the context — so on
+    // any dimension switch, clear everything once. Cheap (it happens per
+    // topology change, never per solve of one circuit) and it makes
+    // "fresh context" and "pooled context" byte-equivalent by
+    // construction.
+    if (dim != last_dim_ || n_nodes != last_n_nodes_) {
+      const auto zero = [](std::vector<double>& v) {
+        std::fill(v.begin(), v.end(), 0.0);
+      };
+      zero(a_lin_);
+      zero(a_);
+      zero(z_lin_);
+      zero(z_);
+      zero(prev_dv_);
+      zero(lu_scale_);
+      zero(x_pred_);
+      zero(x_new_);
+      last_dim_ = dim;
+      last_n_nodes_ = n_nodes;
+    }
   }
 
   std::vector<double> a_lin_, z_lin_;  // linear skeleton (per NR solve)
@@ -78,6 +114,13 @@ class SolveContext {
   std::vector<double> prev_dv_;        // per-node damping memory
   std::vector<double> lu_scale_;       // LU column scales
   std::vector<double> x_pred_, x_new_; // transient predictor / candidate
+  std::size_t last_dim_ = 0, last_n_nodes_ = 0;
+  // Sparse-core state (pattern, ordering, frozen LU, workspaces), owned
+  // here so pooled contexts keep the symbolic work and the grown buffers
+  // across engines. sparse_owner_ tags which Engine the symbolic state
+  // belongs to; an engine finding someone else's tag re-analyzes.
+  sparse::SparseLu sparse_lu_;
+  std::uint64_t sparse_owner_ = 0;
   std::uint64_t allocations_ = 0;
 };
 
@@ -194,6 +237,27 @@ class Engine {
   // unchanged by this flag, so traces are directly comparable.
   void set_reference_stamping(bool on) { reference_stamping_ = on; }
 
+  // Linear-solver selection. kAuto switches from dense LU to the sparse
+  // core at kSparseAutoThreshold unknowns: every catalog cell sits well
+  // below it (so the characterizer's arithmetic — and the committed
+  // Liberty artifacts — are untouched by this seam), while block-level
+  // netlists (SRAM columns, replicated nets, chained paths) go sparse.
+  static constexpr std::size_t kSparseAutoThreshold = 64;
+  void set_solver(LinearSolver solver) { solver_ = solver; }
+  // The path a solve on this engine will actually take.
+  LinearSolver effective_solver() const {
+    if (reference_solver_ || reference_stamping_) return LinearSolver::kDense;
+    if (solver_ == LinearSolver::kAuto)
+      return dim_ >= kSparseAutoThreshold ? LinearSolver::kSparse
+                                          : LinearSolver::kDense;
+    return solver_;
+  }
+
+  // Dense oracle: forces the dense LU path (kept verbatim) regardless of
+  // set_solver, so any sparse-path result can be cross-checked against
+  // the exact arithmetic the golden suite pins.
+  void set_reference_solver(bool on) { reference_solver_ = on; }
+
   // Replays the seed step controller verbatim — including the
   // breakpoint-clipping feedback bug and the per-step bookkeeping copies —
   // so perf_microbench can benchmark the full pre-PR engine (combine with
@@ -261,6 +325,23 @@ class Engine {
   void stamp_mosfets(const std::vector<double>& x_prev,
                      std::vector<double>& a, std::vector<double>& z) const;
 
+  // Sparse-core analogues: the same stamps routed through the CSC
+  // value-slot map instead of flat dense offsets. ensure_sparse()
+  // (re)builds the context's pattern + ordering when this engine does not
+  // own the context's symbolic state.
+  void ensure_sparse() const;
+  void build_linear_sparse(const SolveSetup& setup,
+                           const std::vector<CapState>& caps,
+                           std::vector<double>& vals,
+                           std::vector<double>& z) const;
+  void stamp_mosfets_sparse(const std::vector<double>& x_prev,
+                            std::vector<double>& vals,
+                            std::vector<double>& z) const;
+  NrOutcome solve_nonlinear_sparse(std::vector<double>& x,
+                                   const SolveSetup& setup,
+                                   const std::vector<CapState>& caps,
+                                   const TranOptions& options) const;
+
   // Reference full rebuild (the historical Engine::build), used by the
   // reference stamping mode only.
   void build_reference(const std::vector<double>& x_prev,
@@ -294,6 +375,9 @@ class Engine {
   std::vector<MosStamp> mos_stamps_;
   SolveContext owned_ctx_;
   SolveContext* ctx_;  // owned_ctx_ or a caller-shared context
+  std::uint64_t engine_id_;  // sparse symbolic-state owner tag
+  LinearSolver solver_ = LinearSolver::kAuto;
+  bool reference_solver_ = false;
   bool reference_stamping_ = false;
   bool reference_step_control_ = false;
   SolveDiagnostics last_diag_;

@@ -19,12 +19,14 @@
 #include "cells/celldef.hpp"
 #include "charlib/characterizer.hpp"
 #include "core/artifacts.hpp"
+#include "device/finfet.hpp"
 #include "device/modelcard.hpp"
 #include "exec/exec.hpp"
 #include "liberty/liberty.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
+#include "spice/engine.hpp"
 
 namespace cryo {
 namespace {
@@ -217,6 +219,46 @@ TEST(ObsMetrics, SnapshotJsonIsValidAndContainsInstruments) {
   EXPECT_NE(json.find("test.snapshot_counter"), std::string::npos);
   EXPECT_NE(json.find("test.snapshot_gauge"), std::string::npos);
   EXPECT_NE(json.find("test.snapshot_hist"), std::string::npos);
+}
+
+TEST(ObsMetrics, SparseSymbolicAnalysesScaleWithTopologiesNotIterations) {
+  // The sparse MNA core's cost split: the symbolic analysis (pattern +
+  // ordering) runs once per circuit topology, while numeric
+  // refactorizations run once per NR iteration. An engine re-solved many
+  // times must add many iterations and refactorizations but exactly one
+  // symbolic analysis.
+  auto& symbolic = obs::registry().counter("spice.symbolic_analyses");
+  auto& refactors = obs::registry().counter("spice.numeric_refactors");
+  auto& iterations = obs::registry().counter("spice.nr_iterations");
+
+  spice::Circuit c;
+  device::ModelCard card = device::golden_nmos();
+  card.NFIN = 4;
+  c.add_vsource("vdd", "vdd", "0", spice::Waveform::dc(0.7));
+  c.add_resistor("vdd", "d", 5000.0);
+  c.add_mosfet("m1", "d", "d", "0", device::FinFet(card, 300.0));
+  spice::Engine engine(c);
+  engine.set_solver(spice::LinearSolver::kSparse);
+
+  const auto sym0 = symbolic.value();
+  const auto ref0 = refactors.value();
+  const auto it0 = iterations.value();
+  constexpr int kSolves = 6;
+  for (int i = 0; i < kSolves; ++i) engine.dc_operating_point();
+
+  const auto iters = iterations.value() - it0;
+  EXPECT_GT(iters, static_cast<std::uint64_t>(2 * kSolves));
+  // O(topologies): one analysis for all solves and all their iterations.
+  EXPECT_EQ(symbolic.value() - sym0, 1u);
+  // Every iteration factors numerically; at most one full factorization
+  // per solve discovers the pattern, the rest are refactorizations.
+  EXPECT_GE(refactors.value() - ref0, iters - kSolves);
+  EXPECT_GT(obs::registry().gauge("spice.fill_nnz").value(), 0.0);
+
+  const std::string json = obs::registry().snapshot_json();
+  EXPECT_NE(json.find("spice.symbolic_analyses"), std::string::npos);
+  EXPECT_NE(json.find("spice.numeric_refactors"), std::string::npos);
+  EXPECT_NE(json.find("spice.fill_nnz"), std::string::npos);
 }
 
 TEST(ObsTrace, WritesValidChromeTraceWithBalancedSpans) {

@@ -9,6 +9,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
+#include <tuple>
 #include <vector>
 
 #include "device/finfet.hpp"
@@ -24,7 +26,20 @@ obs::Counter& counter(const char* name) {
   return obs::registry().counter(name);
 }
 
-TEST(Golden, ResistorDividerDc) {
+// Every value-golden case runs through BOTH linear-solver cores: the
+// golden answers don't care which factorization produced them, so the
+// same tolerances pin the sparse core to the same physics. (Bit-identity
+// between the cores is NOT expected — the fill-reducing ordering
+// eliminates in a different order, so the floating-point sums round
+// differently; the cross-solver tolerance tests live in
+// test_spice_sparse.cpp.)
+const char* solver_name(const ::testing::TestParamInfo<LinearSolver>& info) {
+  return info.param == LinearSolver::kSparse ? "Sparse" : "Dense";
+}
+
+class GoldenSolver : public ::testing::TestWithParam<LinearSolver> {};
+
+TEST_P(GoldenSolver, ResistorDividerDc) {
   // 1 V across 1k + 3k + 6k: taps at 0.9 V and 0.6 V, current 0.1 mA.
   Circuit c;
   c.add_vsource("v1", "in", "0", Waveform::dc(1.0));
@@ -32,6 +47,7 @@ TEST(Golden, ResistorDividerDc) {
   c.add_resistor("a", "b", 3000.0);
   c.add_resistor("b", "0", 6000.0);
   Engine engine(c);
+  engine.set_solver(GetParam());
   const auto x = engine.dc_operating_point();
   // The engine ties every node to ground through gmin = 1e-12 S, which
   // shifts the ideal answer by a few nanovolts; the tolerance sits just
@@ -42,7 +58,7 @@ TEST(Golden, ResistorDividerDc) {
   EXPECT_EQ(engine.last_diagnostics().fallback_path, "direct");
 }
 
-TEST(Golden, RcChargeTransient) {
+TEST_P(GoldenSolver, RcChargeTransient) {
   // Near-step into R*C = 1 ns; v(t) = 1 - exp(-t/tau), checked to 0.1 %
   // of the swing at several points along the curve.
   Circuit c;
@@ -50,6 +66,7 @@ TEST(Golden, RcChargeTransient) {
   c.add_resistor("in", "out", 1000.0);
   c.add_capacitor("out", "0", 1e-12);
   Engine engine(c);
+  engine.set_solver(GetParam());
   TranOptions opt;
   opt.t_stop = 3e-9;
   opt.dt_max = 2e-12;
@@ -61,7 +78,7 @@ TEST(Golden, RcChargeTransient) {
   }
 }
 
-TEST(Golden, RcDischargeTransient) {
+TEST_P(GoldenSolver, RcDischargeTransient) {
   // The DC solve at t=0 charges the cap to 1 V (source still high); the
   // source then drops and v(t) = exp(-t/tau).
   Circuit c;
@@ -69,6 +86,7 @@ TEST(Golden, RcDischargeTransient) {
   c.add_resistor("in", "out", 1000.0);
   c.add_capacitor("out", "0", 1e-12);
   Engine engine(c);
+  engine.set_solver(GetParam());
   TranOptions opt;
   opt.t_stop = 3e-9;
   opt.dt_max = 2e-12;
@@ -80,13 +98,19 @@ TEST(Golden, RcDischargeTransient) {
   }
 }
 
+INSTANTIATE_TEST_SUITE_P(Solvers, GoldenSolver,
+                         ::testing::Values(LinearSolver::kDense,
+                                           LinearSolver::kSparse),
+                         solver_name);
+
 // Diode-connected FET (gate tied to drain) fed from vdd through R. The
 // engine's answer must match a scalar bisection on the same device model:
 // f(v) = Id(v, v) - (vdd - v) / R has exactly one root in [0, vdd].
-class DiodeFetGolden : public ::testing::TestWithParam<double> {};
+class DiodeFetGolden
+    : public ::testing::TestWithParam<std::tuple<double, LinearSolver>> {};
 
 TEST_P(DiodeFetGolden, OperatingPointMatchesBisection) {
-  const double temperature = GetParam();
+  const double temperature = std::get<0>(GetParam());
   const double vdd = 0.7;
   const double r = 5000.0;
   device::ModelCard card = device::golden_nmos();
@@ -106,13 +130,22 @@ TEST_P(DiodeFetGolden, OperatingPointMatchesBisection) {
   c.add_resistor("vdd", "d", r);
   c.add_mosfet("m1", "d", "d", "0", device::FinFet(card, temperature));
   Engine engine(c);
+  engine.set_solver(std::get<1>(GetParam()));
   const auto x = engine.dc_operating_point();
   // 0.1 % of the supply range.
   EXPECT_NEAR(x[c.node("d") - 1], v_ref, 0.7e-3) << "T=" << temperature;
 }
 
-INSTANTIATE_TEST_SUITE_P(Temperatures, DiodeFetGolden,
-                         ::testing::Values(300.0, 10.0));
+INSTANTIATE_TEST_SUITE_P(
+    TemperaturesAndSolvers, DiodeFetGolden,
+    ::testing::Combine(::testing::Values(300.0, 10.0),
+                       ::testing::Values(LinearSolver::kDense,
+                                         LinearSolver::kSparse)),
+    [](const auto& info) {
+      const bool sparse = std::get<1>(info.param) == LinearSolver::kSparse;
+      return std::string(std::get<0>(info.param) > 100.0 ? "T300" : "T10") +
+             (sparse ? "Sparse" : "Dense");
+    });
 
 // Hostile DC case: a 30 V rail (far beyond what the NR voltage limiter
 // can cover in a starved iteration budget) dividing down to a ~0.7 V
@@ -137,7 +170,13 @@ Circuit hostile_circuit() {
   return c;
 }
 
-TEST(FallbackLadder, HostileDcConvergesViaSourceStepping) {
+// The fallback ladder (gmin stepping, source stepping, transient retries)
+// sits above the linear core, so its behaviour — which rungs fire, where
+// the solution lands — must be solver-independent. Run the ladder cases
+// through both cores.
+class FallbackLadderSolver : public ::testing::TestWithParam<LinearSolver> {};
+
+TEST_P(FallbackLadderSolver, HostileDcConvergesViaSourceStepping) {
   auto& source_steps = counter("spice.source_step_fallbacks");
   auto& gmin_steps = counter("spice.gmin_fallbacks");
   const auto ss0 = source_steps.value();
@@ -145,6 +184,7 @@ TEST(FallbackLadder, HostileDcConvergesViaSourceStepping) {
 
   Circuit c = hostile_circuit();
   Engine engine(c);
+  engine.set_solver(GetParam());
   TranOptions opt;
   opt.max_nr_iterations = 4;  // starves direct NR and the gmin ladder
   const auto x = engine.dc_operating_point(0.0, opt);
@@ -164,16 +204,18 @@ TEST(FallbackLadder, HostileDcConvergesViaSourceStepping) {
   EXPECT_NEAR(x[c.node("float_g") - 1], 0.0, 1e-9);
 }
 
-TEST(FallbackLadder, SourceSteppingIsByteIdenticalAcrossThreads) {
+TEST_P(FallbackLadderSolver, SourceSteppingIsByteIdenticalAcrossThreads) {
   // The ladder must be bit-deterministic: solving the same hostile
   // circuit on 1 thread and on N threads yields identical doubles.
-  const auto solve_all = [](int threads) {
+  const LinearSolver solver = GetParam();
+  const auto solve_all = [solver](int threads) {
     std::vector<std::vector<double>> results(4);
     exec::parallel_for(
         results.size(),
         [&](std::size_t i) {
           Circuit c = hostile_circuit();
           Engine engine(c);
+          engine.set_solver(solver);
           TranOptions opt;
           opt.max_nr_iterations = 4;
           results[i] = engine.dc_operating_point(0.0, opt);
@@ -193,7 +235,7 @@ TEST(FallbackLadder, SourceSteppingIsByteIdenticalAcrossThreads) {
   }
 }
 
-TEST(FallbackLadder, StarvedTransientRecoversThroughRetriesAndBe) {
+TEST_P(FallbackLadderSolver, StarvedTransientRecoversThroughRetriesAndBe) {
   // A sharp edge into a big load with an absurdly small NR budget: steps
   // on the edge fail the plain attempt and walk the ladder (boosted
   // budget, then backward Euler). The output must still switch cleanly.
@@ -213,6 +255,7 @@ TEST(FallbackLadder, StarvedTransientRecoversThroughRetriesAndBe) {
   c.add_mosfet("mn", "out", "in", "0", device::FinFet(n, 300.0));
   c.add_capacitor("out", "0", 50e-15);
   Engine engine(c);
+  engine.set_solver(GetParam());
   TranOptions opt;
   opt.t_stop = 400e-12;
   opt.dt_max = 5e-12;
@@ -225,6 +268,11 @@ TEST(FallbackLadder, StarvedTransientRecoversThroughRetriesAndBe) {
   EXPECT_GT(out.value.front(), 0.69);  // input low -> output high
   EXPECT_LT(out.value.back(), 0.01);   // input high -> output low
 }
+
+INSTANTIATE_TEST_SUITE_P(Solvers, FallbackLadderSolver,
+                         ::testing::Values(LinearSolver::kDense,
+                                           LinearSolver::kSparse),
+                         solver_name);
 
 TEST(SolveError, CarriesStructuredDiagnostics) {
   // Two FETs fighting across a 30 V rail with a 1-iteration budget: the
