@@ -19,6 +19,7 @@ set(CRYO_BENCHES
   ablation_burst
   ablation_variation
   ablation_fpga
+  gatesim_events
 )
 
 foreach(name ${CRYO_BENCHES})

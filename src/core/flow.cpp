@@ -235,6 +235,15 @@ power::PowerReport CryoSocFlow::workload_power(
   return analyzer.analyze(profile);
 }
 
+power::PowerReport CryoSocFlow::measured_power(
+    const Corner& corner, const gatesim::MeasuredActivity& activity) {
+  auto state = corner_state_mutable(corner);
+  const sta::StaEngine& engine = engine_for(*state);
+  OBS_SPAN("flow.power_measured", corner.label());
+  power::PowerAnalyzer analyzer(soc(), state->library, state->sram, engine);
+  return analyzer.analyze(activity);
+}
+
 // ---- Deprecated scalar-temperature shims --------------------------------
 
 namespace {

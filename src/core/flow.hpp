@@ -122,6 +122,10 @@ class CryoSocFlow {
   sta::TimingReport timing(const Corner& corner);
   power::PowerReport workload_power(const Corner& corner,
                                     const power::ActivityProfile& profile);
+  // Workload-accurate power from measured per-net activity (the gatesim
+  // ActivityExtractor's output) instead of per-unit toggle probabilities.
+  power::PowerReport measured_power(const Corner& corner,
+                                    const gatesim::MeasuredActivity& activity);
 
   // ---- Deprecated scalar-temperature shims -----------------------------
   //

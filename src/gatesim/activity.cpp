@@ -1,0 +1,252 @@
+#include "gatesim/activity.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace cryo::gatesim {
+namespace {
+
+// FNV-1a, the schema-free fingerprint used across the repo's artifacts.
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFF;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+struct MacroGeom {
+  std::uint64_t rows = 512;
+  std::uint64_t count = 1;
+};
+
+MacroGeom geometry_of(const netlist::Netlist& soc, const std::string& stem) {
+  MacroGeom g;
+  g.count = 0;
+  for (const auto& m : soc.srams()) {
+    if (m.name.rfind(stem, 0) != 0) continue;
+    g.rows = static_cast<std::uint64_t>(m.rows);
+    ++g.count;
+  }
+  if (g.count == 0) g.count = 1;
+  return g;
+}
+
+}  // namespace
+
+std::uint64_t MeasuredActivity::fingerprint() const {
+  std::uint64_t h = 1469598103934665603ull;
+  h = fnv1a(h, cycles);
+  h = fnv1a(h, events);
+  h = fnv1a(h, glitches);
+  for (std::uint64_t t : net_toggles) h = fnv1a(h, t);
+  for (std::uint64_t g : net_glitches) h = fnv1a(h, g);
+  for (const auto& [name, r] : sram_reads_per_cycle)
+    h = fnv1a(h, static_cast<std::uint64_t>(r * 1e6));
+  for (const auto& [name, w] : sram_writes_per_cycle)
+    h = fnv1a(h, static_cast<std::uint64_t>(w * 1e6));
+  return h;
+}
+
+VectorDeck make_soc_deck(const netlist::Netlist& soc,
+                         const std::vector<riscv::TraceEntry>& trace,
+                         std::size_t max_cycles) {
+  VectorDeck deck;
+  const std::size_t cycles =
+      max_cycles ? std::min(max_cycles, trace.size()) : trace.size();
+
+  const MacroGeom l1i = geometry_of(soc, "l1i_data");
+  const MacroGeom l1d = geometry_of(soc, "l1d_data");
+
+  // Preload images: last write wins, keyed (macro, row) so the deck stays
+  // compact even for long traces that revisit the same lines. Banks are
+  // word-interleaved (bank = word % count), so a sequential fetch stream
+  // walks the banks round-robin and the bank-select stimulus below keeps
+  // switching the mux trees, as on real banked caches.
+  std::map<std::pair<std::string, std::uint64_t>, std::uint64_t> image;
+  auto place = [&](const std::string& stem, const MacroGeom& g,
+                   std::uint64_t word_addr, std::uint64_t data) {
+    const std::uint64_t bank = word_addr % g.count;
+    const std::uint64_t row = (word_addr / g.count) % g.rows;
+    const std::string macro =
+        g.count > 1 ? stem + std::to_string(bank) : stem + "0";
+    if (soc.find_sram(macro) != nullptr) image[{macro, row}] = data;
+  };
+  for (std::size_t i = 0; i < cycles; ++i) {
+    const auto& e = trace[i];
+    // Both instruction halves of the 64-bit fetch word carry the real
+    // encoding, so either mux path sees genuine opcode bits.
+    place("l1i_data", l1i, e.pc >> 3,
+          (static_cast<std::uint64_t>(e.word) << 32) | e.word);
+    if (e.is_load || e.is_store)
+      place("l1d_data", l1d, e.mem_addr >> 3,
+            e.is_store ? e.rs2_value : e.wb_value);
+  }
+  // The tag macros are single instances named without a bank suffix;
+  // their rows carry the address tag so the way comparators see
+  // realistic (and matching) patterns.
+  for (const auto& m : soc.srams()) {
+    if (m.name != "l1i_tags" && m.name != "l1d_tags") continue;
+    const bool is_i = m.name == "l1i_tags";
+    for (std::size_t i = 0; i < cycles; ++i) {
+      const auto& e = trace[i];
+      if (!is_i && !(e.is_load || e.is_store)) continue;
+      const std::uint64_t a = is_i ? e.pc : e.mem_addr;
+      image[{m.name, (a >> 6) % static_cast<std::uint64_t>(m.rows)}] =
+          a >> 12;
+    }
+  }
+  deck.preloads.reserve(image.size());
+  for (const auto& [key, data] : image)
+    deck.preloads.push_back({key.first, key.second, data});
+
+  // Primary-input plan: every *_banksel input follows the interleaved
+  // bank index of the matching unit's access stream; everything else
+  // (const0, clk) is left alone.
+  struct SelPin {
+    netlist::NetId net;
+    int bit;
+    int unit;  // 0 = l1i (pc), 1 = l1d (mem addr), 2 = l2 (pc, coarse)
+  };
+  std::vector<SelPin> sels;
+  for (const netlist::NetId in : soc.inputs()) {
+    const std::string& name = soc.net_name(in);
+    const auto pos = name.find("_banksel");
+    if (pos == std::string::npos) continue;
+    SelPin p;
+    p.net = in;
+    p.bit = std::atoi(name.c_str() + pos + 8);
+    p.unit = name.rfind("l1d", 0) == 0 ? 1 : name.rfind("l2", 0) == 0 ? 2 : 0;
+    sels.push_back(p);
+  }
+
+  // The L1 macro address buses are forced cycle by cycle to the fetch /
+  // access row — the vector-deck analogue of dumping the cache interface
+  // from RTL simulation — so the preloaded instruction and data words
+  // actually stream out of the macros and through the bank mux trees and
+  // tag comparators every cycle instead of sitting in quiescent rows.
+  struct AddrBus {
+    const std::vector<netlist::NetId>* nets;
+    std::uint64_t rows;
+    int unit;      // 0 = l1i, 1 = l1d
+    bool is_tags;  // tag arrays index by line, data arrays by word
+  };
+  std::vector<AddrBus> addr_buses;
+  for (const auto& m : soc.srams()) {
+    const bool is_i = m.name.rfind("l1i_", 0) == 0;
+    const bool is_d = m.name.rfind("l1d_", 0) == 0;
+    if (!is_i && !is_d) continue;
+    addr_buses.push_back({&m.address, static_cast<std::uint64_t>(m.rows),
+                          is_d ? 1 : 0,
+                          m.name.find("_tags") != std::string::npos});
+  }
+
+  deck.cycles.resize(cycles);
+  std::uint64_t last_mem_addr = 0;
+  for (std::size_t i = 0; i < cycles; ++i) {
+    const auto& e = trace[i];
+    if (e.is_load || e.is_store) last_mem_addr = e.mem_addr;
+    const std::uint64_t i_word = e.pc >> 3;
+    const std::uint64_t d_word = last_mem_addr >> 3;
+    const std::uint64_t i_bank = i_word % l1i.count;
+    const std::uint64_t d_bank = d_word % l1d.count;
+    const std::uint64_t l2_bank = e.pc >> 6;
+    StimulusCycle& cyc = deck.cycles[i];
+    cyc.inputs.reserve(sels.size() + addr_buses.size() * 9);
+    for (const SelPin& p : sels) {
+      const std::uint64_t src =
+          p.unit == 1 ? d_bank : p.unit == 2 ? l2_bank : i_bank;
+      cyc.inputs.emplace_back(p.net, ((src >> p.bit) & 1u) != 0);
+    }
+    for (const AddrBus& b : addr_buses) {
+      const std::uint64_t word = b.unit == 1 ? d_word : i_word;
+      const std::uint64_t geom_count = b.unit == 1 ? l1d.count : l1i.count;
+      const std::uint64_t addr = b.unit == 1 ? last_mem_addr : e.pc;
+      const std::uint64_t row = b.is_tags
+                                    ? (addr >> 6) % b.rows
+                                    : (word / geom_count) % b.rows;
+      for (std::size_t k = 0; k < b.nets->size(); ++k)
+        cyc.inputs.emplace_back((*b.nets)[k], ((row >> k) & 1u) != 0);
+    }
+  }
+  return deck;
+}
+
+ActivityExtractor::ActivityExtractor(const netlist::Netlist& netlist,
+                                     const charlib::Library& library,
+                                     EventSimConfig config)
+    : nl_(netlist), sim_(netlist, library, config) {}
+
+MeasuredActivity ActivityExtractor::extract(const VectorDeck& deck,
+                                            double clock_frequency) {
+  OBS_SPAN("gatesim.extract", nl_.name());
+  for (const auto& p : deck.preloads) sim_.sram_write(p.macro, p.addr, p.data);
+
+  // Baselines: activity is measured over the deck's cycles only, not the
+  // construction-time settle or the preload.
+  const std::vector<std::uint64_t> toggles_before = [&] {
+    std::vector<std::uint64_t> v(nl_.net_count());
+    for (std::size_t n = 0; n < v.size(); ++n)
+      v[n] = sim_.toggles(static_cast<netlist::NetId>(n));
+    return v;
+  }();
+  const std::vector<std::uint64_t> glitches_before = [&] {
+    std::vector<std::uint64_t> v(nl_.net_count());
+    for (std::size_t n = 0; n < v.size(); ++n)
+      v[n] = sim_.glitches(static_cast<netlist::NetId>(n));
+    return v;
+  }();
+  const EventStats stats_before = sim_.stats();
+  const auto macros_before = sim_.macro_stats();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    OBS_SPAN("gatesim.simulate", nl_.name());
+    for (const StimulusCycle& cyc : deck.cycles) {
+      for (const auto& [net, value] : cyc.inputs) sim_.set(net, value);
+      sim_.clock_edge();
+    }
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  MeasuredActivity out;
+  out.clock_frequency = clock_frequency;
+  out.cycles = deck.cycles.size();
+  out.events = sim_.stats().events - stats_before.events;
+  out.glitches =
+      sim_.stats().glitches_cancelled - stats_before.glitches_cancelled;
+  out.net_toggles.resize(nl_.net_count());
+  out.net_glitches.resize(nl_.net_count());
+  for (std::size_t n = 0; n < nl_.net_count(); ++n) {
+    const auto id = static_cast<netlist::NetId>(n);
+    out.net_toggles[n] = sim_.toggles(id) - toggles_before[n];
+    out.net_glitches[n] = sim_.glitches(id) - glitches_before[n];
+  }
+  if (out.cycles > 0) {
+    const double cycles = static_cast<double>(out.cycles);
+    for (const auto& [name, ms] : sim_.macro_stats()) {
+      const auto it = macros_before.find(name);
+      const std::uint64_t r0 = it == macros_before.end() ? 0 : it->second.reads;
+      const std::uint64_t w0 =
+          it == macros_before.end() ? 0 : it->second.writes;
+      out.sram_reads_per_cycle[name] =
+          static_cast<double>(ms.reads - r0) / cycles;
+      out.sram_writes_per_cycle[name] =
+          static_cast<double>(ms.writes - w0) / cycles;
+    }
+  }
+
+  if (elapsed > 0.0)
+    obs::registry()
+        .gauge("gatesim.events_per_sec")
+        .set(static_cast<double>(out.events) / elapsed);
+  return out;
+}
+
+}  // namespace cryo::gatesim

@@ -1,0 +1,96 @@
+// Measured switching activity: workload vector decks in, per-net toggle
+// profiles out.
+//
+// This is the paper's Voltus-style flow (Sec. VI-B): instead of blanket
+// per-unit toggle probabilities, the SoC netlist is exercised with the
+// actual instruction stream the ISS retired — the instruction encodings
+// are preloaded into the L1I data macros, load/store data into L1D, and
+// the fetch/access address bits drive the cache bank selects cycle by
+// cycle — and the event-driven simulator counts real per-net toggles and
+// glitches. power::PowerAnalyzer::analyze(const MeasuredActivity&) then
+// replaces the uniform activity factor with the measured per-net rates.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "charlib/library.hpp"
+#include "gatesim/event_sim.hpp"
+#include "netlist/netlist.hpp"
+#include "riscv/cpu.hpp"
+
+namespace cryo::gatesim {
+
+// One clock cycle of primary-input stimulus.
+struct StimulusCycle {
+  std::vector<std::pair<netlist::NetId, bool>> inputs;
+};
+
+// A workload vector deck: SRAM preload images plus per-cycle stimulus.
+struct VectorDeck {
+  struct Preload {
+    std::string macro;
+    std::uint64_t addr = 0;
+    std::uint64_t data = 0;
+  };
+  std::vector<Preload> preloads;
+  std::vector<StimulusCycle> cycles;
+};
+
+// Builds a deck for the SocGenerator netlist from an ISS retire trace:
+// instruction words land in the l1i data/tag macros at their pc-derived
+// rows, memory traffic in l1d, and each retired instruction becomes one
+// clock cycle whose bank-select inputs follow the fetch/access address
+// bits. `max_cycles` truncates the deck (0 = full trace).
+VectorDeck make_soc_deck(const netlist::Netlist& soc,
+                         const std::vector<riscv::TraceEntry>& trace,
+                         std::size_t max_cycles = 0);
+
+// Per-net measured activity over a simulated workload window.
+struct MeasuredActivity {
+  double clock_frequency = 1e9;  // [Hz]
+  std::uint64_t cycles = 0;      // clock edges simulated
+  std::uint64_t events = 0;      // committed net transitions
+  std::uint64_t glitches = 0;    // inertially cancelled pulses
+  std::vector<std::uint64_t> net_toggles;   // by NetId
+  std::vector<std::uint64_t> net_glitches;  // by NetId
+  std::map<std::string, double> sram_reads_per_cycle;   // by macro name
+  std::map<std::string, double> sram_writes_per_cycle;  // by macro name
+
+  double toggles_per_cycle(netlist::NetId net) const {
+    const auto i = static_cast<std::size_t>(net);
+    if (cycles == 0 || i >= net_toggles.size()) return 0.0;
+    return static_cast<double>(net_toggles[i]) /
+           static_cast<double>(cycles);
+  }
+  double glitches_per_cycle(netlist::NetId net) const {
+    const auto i = static_cast<std::size_t>(net);
+    if (cycles == 0 || i >= net_glitches.size()) return 0.0;
+    return static_cast<double>(net_glitches[i]) /
+           static_cast<double>(cycles);
+  }
+  // FNV-1a over every counter: byte-identical runs fingerprint equal.
+  std::uint64_t fingerprint() const;
+};
+
+// Runs vector decks through an EventSimulator and reports the measured
+// per-net activity (toggles accumulated only over the deck's cycles, not
+// the preload settling).
+class ActivityExtractor {
+ public:
+  ActivityExtractor(const netlist::Netlist& netlist,
+                    const charlib::Library& library,
+                    EventSimConfig config = {});
+
+  MeasuredActivity extract(const VectorDeck& deck, double clock_frequency);
+
+  const EventSimulator& simulator() const { return sim_; }
+
+ private:
+  const netlist::Netlist& nl_;
+  EventSimulator sim_;
+};
+
+}  // namespace cryo::gatesim

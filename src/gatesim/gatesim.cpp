@@ -11,6 +11,8 @@ Simulator::Simulator(const netlist::Netlist& netlist,
   toggle_counts_.assign(nl_.net_count(), 0);
   net_sinks_.resize(nl_.net_count());
   in_queue_.assign(nl_.gates().size(), 0);
+  eval_count_.assign(nl_.gates().size(), 0);
+  eval_gen_.assign(nl_.gates().size(), 0);
 
   gates_.resize(nl_.gates().size());
   for (std::size_t gi = 0; gi < nl_.gates().size(); ++gi) {
@@ -103,15 +105,32 @@ void Simulator::settle() {
       queue_.push_back(gi);
     }
   }
-  std::size_t evaluations = 0;
-  const std::size_t limit = gates_.size() * 50 + 1000;
+  // A gate re-evaluated this many times in one settle pass is oscillating
+  // (a convergent fixpoint touches each gate at most a handful of times);
+  // the offender — not just "a loop somewhere" — goes into the diagnostic.
+  constexpr std::uint32_t kMaxEvalsPerGate = 64;
+  ++settle_gen_;
   while (!queue_.empty()) {
     const std::size_t gi = queue_.back();
     queue_.pop_back();
     in_queue_[gi] = 0;
+    if (eval_gen_[gi] != settle_gen_) {
+      eval_gen_[gi] = settle_gen_;
+      eval_count_[gi] = 0;
+    }
+    if (++eval_count_[gi] > kMaxEvalsPerGate) {
+      // Unwind to a clean (if unsettled) state so the caller can inspect.
+      for (std::size_t q : queue_) in_queue_[q] = 0;
+      queue_.clear();
+      const GateInfo& info = gates_[gi];
+      const netlist::NetId y =
+          info.outputs.empty() ? netlist::kNoNet : info.outputs[0];
+      throw SettleError("gatesim: oscillating combinational loop",
+                        nl_.gates()[gi].name,
+                        y == netlist::kNoNet ? "<none>" : nl_.net_name(y),
+                        eval_count_[gi]);
+    }
     eval_gate(gi);
-    if (++evaluations > limit)
-      throw std::runtime_error("gatesim: oscillating combinational loop");
   }
 }
 

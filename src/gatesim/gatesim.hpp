@@ -10,12 +10,34 @@
 
 #include <cstdint>
 #include <map>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "charlib/library.hpp"
 #include "netlist/netlist.hpp"
 
 namespace cryo::gatesim {
+
+// Thrown when combinational settling does not converge (an oscillating
+// combinational loop, or an event budget exhausted in the event-driven
+// core). Carries the offending gate and net so the diagnostic names the
+// loop instead of reporting a bare iteration count.
+class SettleError : public std::runtime_error {
+ public:
+  SettleError(const std::string& what, std::string gate, std::string net,
+              std::uint64_t evaluations)
+      : std::runtime_error(what + " (gate '" + gate + "', net '" + net +
+                           "', " + std::to_string(evaluations) +
+                           " evaluations)"),
+        gate_name(std::move(gate)),
+        net_name(std::move(net)),
+        evaluations(evaluations) {}
+
+  std::string gate_name;  // most-evaluated gate when the bound tripped
+  std::string net_name;   // its output net
+  std::uint64_t evaluations = 0;
+};
 
 class Simulator {
  public:
@@ -68,6 +90,11 @@ class Simulator {
   std::vector<std::vector<std::size_t>> net_sinks_;
   std::vector<char> in_queue_;
   std::vector<std::size_t> queue_;
+  // Per-gate evaluation counts for the current settle() pass, reset
+  // lazily via a generation stamp so settling stays allocation-free.
+  std::vector<std::uint32_t> eval_count_;
+  std::vector<std::uint32_t> eval_gen_;
+  std::uint32_t settle_gen_ = 0;
 
   std::map<std::string, std::map<std::uint64_t, std::uint64_t>> srams_;
 };

@@ -73,6 +73,11 @@ class Netlist {
   const std::vector<Gate>& gates() const { return gates_; }
   std::vector<Gate>& gates() { return gates_; }
   const std::vector<SramMacro>& srams() const { return srams_; }
+  // Macro lookup by instance name; nullptr when absent.
+  const SramMacro* find_sram(const std::string& macro_name) const;
+  // Re-assembles an existing bus base[0..width-1] by name (the inverse of
+  // add_bus); throws if any bit net is unknown.
+  std::vector<NetId> bus(const std::string& base, int width) const;
   const std::vector<NetId>& inputs() const { return inputs_; }
   const std::vector<NetId>& outputs() const { return outputs_; }
   NetId clock() const { return clock_; }

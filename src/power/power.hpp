@@ -20,6 +20,7 @@
 #include <string>
 
 #include "charlib/library.hpp"
+#include "gatesim/activity.hpp"
 #include "netlist/netlist.hpp"
 #include "sram/sram.hpp"
 #include "sta/sta.hpp"
@@ -40,10 +41,14 @@ struct ActivityProfile {
 struct PowerReport {
   double dynamic_logic = 0.0;   // [W] switching incl. clock tree
   double dynamic_sram = 0.0;    // [W] SRAM access energy
+  double dynamic_glitch = 0.0;  // [W] cancelled-pulse partial swings
+                                //     (measured-activity path only)
   double leakage_logic = 0.0;   // [W]
   double leakage_sram = 0.0;    // [W]
 
-  double dynamic() const { return dynamic_logic + dynamic_sram; }
+  double dynamic() const {
+    return dynamic_logic + dynamic_sram + dynamic_glitch;
+  }
   double leakage() const { return leakage_logic + leakage_sram; }
   double total() const { return dynamic() + leakage(); }
 };
@@ -65,6 +70,15 @@ class PowerAnalyzer {
                 const sta::StaEngine& engine);
 
   PowerReport analyze(const ActivityProfile& profile) const;
+
+  // Workload-accurate dynamic power from measured per-net activity (the
+  // gatesim ActivityExtractor's output): each gate's switching energy is
+  // weighted by its output net's *measured* toggles per cycle instead of
+  // a per-unit probability, inertially cancelled glitches contribute a
+  // half-swing pulse energy, and SRAM access rates are the measured
+  // per-macro read/write rates. Leakage terms are identical to the
+  // uniform path (state-independent here).
+  PowerReport analyze(const gatesim::MeasuredActivity& activity) const;
 
  private:
   const netlist::Netlist& nl_;

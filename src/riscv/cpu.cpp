@@ -449,6 +449,22 @@ Cpu::RunResult Cpu::run(std::uint64_t entry, std::uint64_t max_instructions) {
       case OpClass::kFpu: ++perf_.fpu_ops; break;
       default: break;
     }
+    if (trace_) {
+      TraceEntry e;
+      e.pc = pc_;
+      e.word = word;
+      e.rs1_value = a;
+      e.rs2_value = b;
+      e.wb_value = rd != 0 ? regs_[rd] : 0;
+      e.cycle = perf_.cycles;
+      if (cls == OpClass::kLoad || cls == OpClass::kStore) {
+        e.mem_addr = a + static_cast<std::uint64_t>(imm);
+        e.is_load = cls == OpClass::kLoad;
+        e.is_store = cls == OpClass::kStore;
+      }
+      e.branch_taken = cls == OpClass::kBranch && next_pc != pc_ + 4;
+      trace_->push_back(e);
+    }
     pc_ = next_pc;
   }
   result.cycles = perf_.cycles;

@@ -18,6 +18,7 @@
 
 #include <array>
 #include <cstdint>
+#include <vector>
 
 #include "riscv/assembler.hpp"
 #include "riscv/cache.hpp"
@@ -64,9 +65,32 @@ struct Perf {
   }
 };
 
+// One retired instruction as emitted to an attached trace sink: the raw
+// material gate-level activity extraction turns into a workload vector
+// deck (cryo::gatesim). Values are captured at retire, so the entry
+// carries both the fetch side (pc, encoding) and the datapath side
+// (operands, writeback value, memory address).
+struct TraceEntry {
+  std::uint64_t pc = 0;
+  std::uint32_t word = 0;  // raw 32-bit encoding
+  std::uint64_t rs1_value = 0;
+  std::uint64_t rs2_value = 0;
+  std::uint64_t wb_value = 0;   // rd after execution (0 for x0)
+  std::uint64_t mem_addr = 0;   // load/store effective address
+  std::uint64_t cycle = 0;      // perf cycle count at retire
+  bool is_load = false;
+  bool is_store = false;
+  bool branch_taken = false;
+};
+
 class Cpu {
  public:
   explicit Cpu(CpuConfig config = {});
+
+  // Attaches (or with nullptr detaches) a retire-trace sink; every
+  // retired instruction appends one TraceEntry. The sink must outlive
+  // the run() calls it observes.
+  void set_trace(std::vector<TraceEntry>* sink) { trace_ = sink; }
 
   Memory& memory() { return mem_; }
   const Memory& memory() const { return mem_; }
@@ -114,6 +138,7 @@ class Cpu {
   // Scoreboard: cycle at which a register's value is ready; FP registers
   // are indices 32..63.
   std::array<std::uint64_t, 64> ready_at_{};
+  std::vector<TraceEntry>* trace_ = nullptr;
 };
 
 }  // namespace cryo::riscv
