@@ -24,8 +24,13 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "cells/celldef.hpp"
+#include "charlib/characterizer.hpp"
 #include "classify/kernels.hpp"
 #include "common/units.hpp"
+#include "core/artifacts.hpp"
+#include "device/modelcard.hpp"
+#include "liberty/liberty.hpp"
 #include "obs/metrics.hpp"
 #include "sweep/sweep.hpp"
 
@@ -132,6 +137,70 @@ int main() {
     request.qubits = 27;
     std::printf("\nworkload: kNN, %.1f cycles/classification, IPC %.2f\n",
                 stats.cycles_per_classification, stats.perf.ipc());
+  }
+
+  int failures = 0;
+
+  // ---- phase A0: uncached-corner characterization probe -----------------
+  // The wall this bench exists to watch: a corner nobody has cached. A
+  // fixed probe catalog is characterized from scratch at 1 thread and at
+  // 4 through the arc-parallel batched pipeline; the rendered Liberty
+  // text must be byte-identical (fingerprint — the bench's own hard
+  // gate), and CI additionally gates the speedup (>= 2x when the runner
+  // really has 4 hardware threads) plus the charlib.{tasks,
+  // ctx_pool_reuse, engine_reuse} counter deltas recorded here.
+  {
+    cells::CatalogOptions copt;
+    copt.only_bases = {"INV", "NAND2", "NOR2", "AOI21", "DFF"};
+    copt.drives = {1, 2};
+    copt.extra_drives_common = {};
+    copt.include_slvt = false;
+    const auto defs = cells::standard_cells(copt);
+    const auto run = [&](int nthreads, double* out_seconds) {
+      charlib::CharOptions o;
+      o.temperature = 200.0;  // not a committed corner: always uncached
+      o.threads = nthreads;
+      charlib::Characterizer ch(device::golden_nmos(),
+                                device::golden_pmos(), o);
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto lib = ch.characterize_all(defs, "probe_200k");
+      *out_seconds = seconds_since(t0);
+      return core::fnv1a64(liberty::write(lib));
+    };
+    auto& tasks = obs::registry().counter("charlib.tasks");
+    auto& ctx_reuse = obs::registry().counter("charlib.ctx_pool_reuse");
+    auto& eng_reuse = obs::registry().counter("charlib.engine_reuse");
+    const auto tasks0 = tasks.value();
+    const auto ctx0 = ctx_reuse.value();
+    const auto eng0 = eng_reuse.value();
+    double serial_seconds = 0.0, parallel_seconds4 = 0.0;
+    const auto fp_serial = run(1, &serial_seconds);
+    const auto fp_parallel = run(4, &parallel_seconds4);
+    const double speedup =
+        parallel_seconds4 > 0.0 ? serial_seconds / parallel_seconds4 : 0.0;
+    std::printf(
+        "\nphase A0 (uncached-corner probe, %zu cells): %.2f s serial, "
+        "%.2f s at 4 threads (%.2fx), fingerprints %s\n",
+        defs.size(), serial_seconds, parallel_seconds4, speedup,
+        fp_serial == fp_parallel ? "identical" : "DIFFERENT");
+    report.results()["uncached_probe_cells"] = defs.size();
+    report.results()["uncached_serial_seconds"] = serial_seconds;
+    report.results()["uncached_parallel_seconds"] = parallel_seconds4;
+    report.results()["uncached_speedup_4t"] = speedup;
+    report.results()["uncached_fingerprints_identical"] =
+        fp_serial == fp_parallel;
+    // Counter deltas over both probe runs (phases C/D reset the registry,
+    // so the final snapshot cannot carry these).
+    report.results()["charlib_tasks_delta"] = tasks.value() - tasks0;
+    report.results()["charlib_ctx_pool_reuse_delta"] =
+        ctx_reuse.value() - ctx0;
+    report.results()["charlib_engine_reuse_delta"] = eng_reuse.value() - eng0;
+    if (fp_serial != fp_parallel) {
+      std::printf(
+          "FAIL: serial vs 4-thread Liberty fingerprints differ for the "
+          "uncached probe\n");
+      ++failures;
+    }
   }
 
   // ---- phase A: warm the artifact store ---------------------------------
@@ -256,7 +325,6 @@ int main() {
   report.results()["sweep"] = sweep::to_json(swept);
   (void)warm;
 
-  int failures = 0;
   if (swept.failed != 0) {
     std::printf("FAIL: %zu corner(s) reported errors\n", swept.failed);
     ++failures;

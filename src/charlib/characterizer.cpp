@@ -3,11 +3,16 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <functional>
+#include <optional>
 #include <stdexcept>
+#include <utility>
 
 #include "common/units.hpp"
+#include "core/error.hpp"
 #include "exec/exec.hpp"
+#include "exec/pool.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "spice/engine.hpp"
@@ -58,7 +63,43 @@ std::string arc_label(const cells::CellDef& cell,
          "->" + arc.output + (arc.output_rise ? "_rise" : "_fall");
 }
 
+obs::Counter& settle_retry_counter() {
+  static obs::Counter& c = obs::registry().counter("charlib.settle_retries");
+  return c;
+}
+
+obs::Counter& engine_reuse_counter() {
+  static obs::Counter& c = obs::registry().counter("charlib.engine_reuse");
+  return c;
+}
+
 }  // namespace
+
+std::vector<std::string> leakage_pattern_pins(const cells::CellDef& cell) {
+  // Static pins: data inputs plus, for sequentials, the clock/enable.
+  std::vector<std::string> pins = cell.inputs;
+  if (cell.sequential) pins.push_back(cell.clock);
+  return pins;
+}
+
+// One batched (cell, arc) work unit (see the header declaration): the
+// circuit and the engine on top of it are built once per arc; every grid
+// stimulus then only swaps the drive waveform and the load capacitance in
+// place. The engine holds a reference into `circuit`, so the batch is
+// pinned to one stack frame and never copied or moved.
+struct Characterizer::ArcBatch {
+  ArcBatch() = default;
+  ArcBatch(const ArcBatch&) = delete;
+  ArcBatch& operator=(const ArcBatch&) = delete;
+
+  spice::Circuit circuit;
+  std::size_t drive_source = 0;  // vsource index of the switching pin
+  std::size_t load_cap = 0;      // capacitor index of the output load
+  std::uint32_t pat_init = 0;    // leakage pattern before the input edge
+  std::uint32_t pat_final = 0;   // ... and after it completes
+  std::uint64_t solves = 0;      // transients replayed on this engine
+  std::optional<spice::Engine> engine;  // references `circuit`; built last
+};
 
 Characterizer::Characterizer(device::ModelCard nmos, device::ModelCard pmos,
                              CharOptions options)
@@ -67,6 +108,15 @@ Characterizer::Characterizer(device::ModelCard nmos, device::ModelCard pmos,
       options_(std::move(options)) {
   if (options_.slews.empty() || options_.loads.empty())
     throw std::invalid_argument("Characterizer: empty NLDM grid");
+  // Non-positive grid values never made physical sense; now they would
+  // also break the batched load-capacitor swap (a zero first load would
+  // drop the element from the arc circuit entirely).
+  for (double s : options_.slews)
+    if (s <= 0.0)
+      throw std::invalid_argument("Characterizer: slews must be positive");
+  for (double l : options_.loads)
+    if (l <= 0.0)
+      throw std::invalid_argument("Characterizer: loads must be positive");
   // Tabulated currents for the four device variants (polarity x flavor).
   for (int f = 0; f < 2; ++f) {
     for (int p = 0; p < 2; ++p) {
@@ -106,34 +156,55 @@ spice::Circuit Characterizer::cell_circuit(
 
 std::vector<LeakageState> Characterizer::measure_leakage(
     const cells::CellDef& cell, spice::SolveContext& ctx) const {
-  // Static pins: data inputs plus, for sequentials, the clock/enable.
-  std::vector<std::string> pins = cell.inputs;
-  if (cell.sequential) pins.push_back(cell.clock);
-  std::vector<LeakageState> out;
+  const std::vector<std::string> pins = leakage_pattern_pins(cell);
+  // The state space is enumerated in a 32-bit pattern word; shifting past
+  // it is undefined behavior (and 2^32 SPICE solves is not a
+  // characterization plan). Fail structurally instead.
+  if (pins.size() >= 32)
+    throw core::FlowError(
+        "characterize", /*path=*/"",
+        "leakage state space overflow for cell " + cell.name + ": " +
+            std::to_string(pins.size()) + " static pins (max 31)");
   const std::uint32_t patterns = 1u << pins.size();
-  for (std::uint32_t pat = 0; pat < patterns; ++pat) {
-    std::vector<std::pair<std::string, spice::Waveform>> drives;
-    for (std::size_t i = 0; i < pins.size(); ++i) {
-      const double v = ((pat >> i) & 1u) ? options_.vdd : 0.0;
-      if (cell.sequential && pins[i] == cell.clock) {
-        // A bare DC solve can settle a sequential cell's keeper loop at
-        // its metastable point, which reads as a huge crowbar current.
-        // Instead, capture D with a clock pulse first, then bring the
-        // clock to the pattern value and measure the settled current.
-        drives.emplace_back(pins[i],
-                            spice::Waveform::pwl({{0.0, 0.0},
-                                                  {10e-12, 0.0},
-                                                  {14e-12, options_.vdd},
-                                                  {110e-12, options_.vdd},
-                                                  {114e-12, 0.0},
-                                                  {200e-12, 0.0},
-                                                  {204e-12, v}}));
-      } else {
-        drives.emplace_back(pins[i], spice::Waveform::dc(v));
-      }
+
+  // Waveform for pin i under `pat`; called per pattern so only source
+  // values change on the batched circuit below.
+  const auto wave_for = [&](std::size_t i, std::uint32_t pat) {
+    const double v = ((pat >> i) & 1u) ? options_.vdd : 0.0;
+    if (cell.sequential && pins[i] == cell.clock) {
+      // A bare DC solve can settle a sequential cell's keeper loop at
+      // its metastable point, which reads as a huge crowbar current.
+      // Instead, capture D with a clock pulse first, then bring the
+      // clock to the pattern value and measure the settled current.
+      return spice::Waveform::pwl({{0.0, 0.0},
+                                   {10e-12, 0.0},
+                                   {14e-12, options_.vdd},
+                                   {110e-12, options_.vdd},
+                                   {114e-12, 0.0},
+                                   {200e-12, 0.0},
+                                   {204e-12, v}});
     }
-    spice::Circuit circuit = cell_circuit(cell, drives, "", 0.0);
-    spice::Engine engine(circuit, &ctx);
+    return spice::Waveform::dc(v);
+  };
+
+  // One circuit + engine for the whole pattern space: patterns differ only
+  // in source values, so the MNA skeleton, stamp-slot lists, and solver
+  // workspaces are built once and every pattern after the first is a pure
+  // re-solve.
+  std::vector<std::pair<std::string, spice::Waveform>> drives;
+  for (std::size_t i = 0; i < pins.size(); ++i)
+    drives.emplace_back(pins[i], wave_for(i, 0));
+  spice::Circuit circuit = cell_circuit(cell, drives, "", 0.0);
+  std::vector<std::size_t> sources(pins.size());
+  for (std::size_t i = 0; i < pins.size(); ++i)
+    sources[i] = circuit.vsource_index("v_" + pins[i]);
+  spice::Engine engine(circuit, &ctx);
+
+  std::vector<LeakageState> out;
+  for (std::uint32_t pat = 0; pat < patterns; ++pat) {
+    if (pat != 0)
+      for (std::size_t i = 0; i < pins.size(); ++i)
+        circuit.set_vsource_wave(sources[i], wave_for(i, pat));
     if (cell.sequential) {
       spice::TranOptions tran;
       tran.t_stop = 450e-12;
@@ -153,49 +224,85 @@ std::vector<LeakageState> Characterizer::measure_leakage(
       out.push_back({pat, -options_.vdd * i_vdd});
     }
   }
+  if (patterns > 1) engine_reuse_counter().add(patterns - 1);
   return out;
 }
 
-Characterizer::ArcPoint Characterizer::simulate_arc(
-    const cells::CellDef& cell, const cells::TimingArc& arc, double slew,
-    double load, const std::vector<LeakageState>& leakage,
-    spice::SolveContext& ctx, bool relaxed) const {
+void Characterizer::init_arc_batch(ArcBatch& batch,
+                                   const cells::CellDef& cell,
+                                   const cells::TimingArc& arc,
+                                   spice::SolveContext& ctx) const {
+  const double vdd = options_.vdd;
+  // The stimulus iterates the SAME pin order as measure_leakage, so the
+  // pattern bits computed here index the measured leakage states directly
+  // — including the clock/enable bit of a sequential cell's combinational
+  // arc (e.g. a transparent latch's D->Q), which the per-inputs-only
+  // indexing used to drop.
+  const std::vector<std::string> pins = leakage_pattern_pins(cell);
+  std::vector<std::pair<std::string, spice::Waveform>> drives;
+  batch.pat_init = 0;
+  for (std::size_t i = 0; i < pins.size(); ++i) {
+    const std::string& pin = pins[i];
+    if (pin == arc.input) {
+      // Placeholder level; simulate_arc_point swaps in the real ramp
+      // before any solve runs.
+      drives.emplace_back(pin,
+                          spice::Waveform::dc(arc.input_rise ? 0.0 : vdd));
+      if (!arc.input_rise) batch.pat_init |= (1u << i);
+    } else if (cell.sequential && pin == cell.clock) {
+      // Clock/enable side value for a combinational arc through a
+      // sequential cell; defaults low when the arc does not pin it.
+      const auto it = arc.side_inputs.find(pin);
+      const bool high = it != arc.side_inputs.end() && it->second;
+      drives.emplace_back(pin, spice::Waveform::dc(high ? vdd : 0.0));
+      if (high) batch.pat_init |= (1u << i);
+    } else {
+      const bool high = arc.side_inputs.at(pin);
+      drives.emplace_back(pin, spice::Waveform::dc(high ? vdd : 0.0));
+      if (high) batch.pat_init |= (1u << i);
+    }
+  }
+  batch.pat_final = batch.pat_init;
+  for (std::size_t i = 0; i < pins.size(); ++i)
+    if (pins[i] == arc.input) batch.pat_final ^= (1u << i);
+
+  batch.circuit =
+      cell_circuit(cell, drives, arc.output, options_.loads.front());
+  batch.drive_source = batch.circuit.vsource_index("v_" + arc.input);
+  // cell_circuit appends the load capacitor last (loads are validated
+  // positive at construction, so it is always present).
+  batch.load_cap = batch.circuit.capacitors().size() - 1;
+  batch.engine.emplace(batch.circuit, &ctx);
+}
+
+Characterizer::ArcPoint Characterizer::simulate_arc_point(
+    ArcBatch& batch, const cells::CellDef& cell, const cells::TimingArc& arc,
+    double slew, double load, const std::vector<LeakageState>& leakage,
+    bool relaxed) const {
   const double vdd = options_.vdd;
   const double ramp = ramp_of(slew);
   const double start = 2e-12 + 0.5 * slew;
   const double v0 = arc.input_rise ? 0.0 : vdd;
   const double v1 = arc.input_rise ? vdd : 0.0;
+  batch.circuit.set_vsource_wave(batch.drive_source,
+                                 spice::Waveform::ramp(v0, v1, start, ramp));
+  batch.circuit.set_capacitor_farads(batch.load_cap, load);
+  spice::Engine& engine = *batch.engine;
 
-  std::vector<std::pair<std::string, spice::Waveform>> drives;
-  std::uint32_t pat_init = 0;
-  for (std::size_t i = 0; i < cell.inputs.size(); ++i) {
-    const std::string& pin = cell.inputs[i];
-    if (pin == arc.input) {
-      drives.emplace_back(pin, spice::Waveform::ramp(v0, v1, start, ramp));
-      if (!arc.input_rise) pat_init |= (1u << i);
-    } else {
-      const bool high = arc.side_inputs.at(pin);
-      drives.emplace_back(pin, spice::Waveform::dc(high ? vdd : 0.0));
-      if (high) pat_init |= (1u << i);
-    }
-  }
-  std::uint32_t pat_final = pat_init;
-  for (std::size_t i = 0; i < cell.inputs.size(); ++i)
-    if (cell.inputs[i] == arc.input) pat_final ^= (1u << i);
-
-  spice::Circuit circuit = cell_circuit(cell, drives, arc.output, load);
-  spice::Engine engine(circuit, &ctx);
-
-  // Adaptive window: extend if the output has not settled.
+  // Adaptive window: extend if the output has not settled. The window is
+  // reset per stimulus (and per relax stage), so batching cannot leak a
+  // widened window from one grid point into the next.
   double settle = 80e-12 + load * 2.5e4;
   ArcPoint point;
   const int max_attempts = relaxed ? 4 : 3;
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) settle_retry_counter().add(1);
     spice::TranOptions tran;
     tran.t_stop = start + ramp + settle;
     tran.dt_max = 6e-12;
     if (relaxed) tran = relax(tran);
     const spice::TranResult result = engine.transient(tran);
+    ++batch.solves;
     const spice::Trace out = result.node(arc.output);
 
     const double in50 = start + 0.5 * ramp;
@@ -210,8 +317,8 @@ Characterizer::ArcPoint Characterizer::simulate_arc(
       point.delay = t_out - in50;
       point.output_slew = tslew;
       const double e_raw = supply_energy(result, vdd, 0.0, tran.t_stop);
-      const double p_leak = 0.5 * (leakage_of(leakage, pat_init) +
-                                   leakage_of(leakage, pat_final));
+      const double p_leak = 0.5 * (leakage_of(leakage, batch.pat_init) +
+                                   leakage_of(leakage, batch.pat_final));
       point.energy = std::max(e_raw - p_leak * tran.t_stop, 0.0);
       return point;
     }
@@ -222,22 +329,41 @@ Characterizer::ArcPoint Characterizer::simulate_arc(
                            arc.output);
 }
 
-Characterizer::ArcPoint Characterizer::simulate_clk_arc(
-    const cells::CellDef& cell, const cells::TimingArc& arc, double slew,
-    double load, spice::SolveContext& ctx, bool relaxed) const {
+void Characterizer::init_clk_batch(ArcBatch& batch,
+                                   const cells::CellDef& cell,
+                                   const cells::TimingArc& arc,
+                                   spice::SolveContext& ctx) const {
   const double vdd = options_.vdd;
-  const double ramp = ramp_of(slew);
   const bool target = arc.side_inputs.at("D");
+  const double d_switch = 150e-12;
+  std::vector<std::pair<std::string, spice::Waveform>> drives;
+  // Placeholder; simulate_clk_point swaps in the slew-dependent clock
+  // waveform before any solve runs.
+  drives.emplace_back(cell.clock, spice::Waveform::dc(0.0));
   // Warmup edge captures !target, measurement edge captures target. For a
   // latch the "edge" is the enable going transparent.
+  drives.emplace_back(
+      "D", spice::Waveform::pwl({{0.0, target ? 0.0 : vdd},
+                                 {d_switch, target ? 0.0 : vdd},
+                                 {d_switch + 2e-12, target ? vdd : 0.0}}));
+  batch.circuit =
+      cell_circuit(cell, drives, arc.output, options_.loads.front());
+  batch.drive_source = batch.circuit.vsource_index("v_" + cell.clock);
+  batch.load_cap = batch.circuit.capacitors().size() - 1;
+  batch.engine.emplace(batch.circuit, &ctx);
+}
+
+Characterizer::ArcPoint Characterizer::simulate_clk_point(
+    ArcBatch& batch, const cells::CellDef& cell, const cells::TimingArc& arc,
+    double slew, double load, bool relaxed) const {
+  const double vdd = options_.vdd;
+  const double ramp = ramp_of(slew);
   const double e1 = 10e-12;
   const double fall1 = 90e-12;
   const double e2 = 220e-12;
   const double d_switch = 150e-12;
-
-  std::vector<std::pair<std::string, spice::Waveform>> drives;
-  drives.emplace_back(
-      cell.clock,
+  batch.circuit.set_vsource_wave(
+      batch.drive_source,
       spice::Waveform::pwl({{0.0, 0.0},
                             {e1, 0.0},
                             {e1 + 2e-12, vdd},
@@ -245,22 +371,19 @@ Characterizer::ArcPoint Characterizer::simulate_clk_arc(
                             {fall1 + 2e-12, 0.0},
                             {e2, 0.0},
                             {e2 + ramp, vdd}}));
-  drives.emplace_back(
-      "D", spice::Waveform::pwl({{0.0, target ? 0.0 : vdd},
-                                 {d_switch, target ? 0.0 : vdd},
-                                 {d_switch + 2e-12, target ? vdd : 0.0}}));
-
-  spice::Circuit circuit = cell_circuit(cell, drives, arc.output, load);
-  spice::Engine engine(circuit, &ctx);
+  batch.circuit.set_capacitor_farads(batch.load_cap, load);
+  spice::Engine& engine = *batch.engine;
 
   double settle = 120e-12 + load * 2.5e4;
   const int max_attempts = relaxed ? 4 : 3;
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) settle_retry_counter().add(1);
     spice::TranOptions tran;
     tran.t_stop = e2 + ramp + settle;
     tran.dt_max = 6e-12;
     if (relaxed) tran = relax(tran);
     const spice::TranResult result = engine.transient(tran);
+    ++batch.solves;
     const spice::Trace q = result.node(arc.output);
 
     const double clk50 = e2 + 0.5 * ramp;
@@ -286,6 +409,92 @@ Characterizer::ArcPoint Characterizer::simulate_clk_arc(
     settle *= 2.5;
   }
   throw std::runtime_error("simulate_clk_arc: no capture for " + cell.name);
+}
+
+Characterizer::ArcOutcome Characterizer::characterize_arc(
+    const cells::CellDef& cell, const cells::TimingArc& arc,
+    const std::vector<LeakageState>& leakage,
+    spice::SolveContext& ctx) const {
+  OBS_SPAN("charlib.arc", arc.input, "->", arc.output);
+  static obs::Counter& arc_retries =
+      obs::registry().counter("charlib.arc_retries");
+  static obs::Counter& failed_arcs =
+      obs::registry().counter("charlib.failed_arcs");
+  static obs::Counter& grid_points =
+      obs::registry().counter("charlib.grid_points");
+
+  // The stimulus indexes `leakage` by the shared leakage_pattern_pins bit
+  // order; a mismatched state space would silently mis-price the energy
+  // correction, so check it structurally (NDEBUG builds included).
+  const std::size_t expected_states =
+      std::size_t{1} << leakage_pattern_pins(cell).size();
+  if (leakage.size() != expected_states)
+    throw std::logic_error(
+        "characterize_arc: leakage pattern space for " + cell.name +
+        " has " + std::to_string(leakage.size()) + " states, expected " +
+        std::to_string(expected_states));
+
+  // Only a clock/enable-driven arc uses the two-edge capture protocol;
+  // any other arc — including a combinational arc through a sequential
+  // cell, like a transparent latch's D->Q — is a plain driven edge.
+  const bool clk_arc = cell.sequential && arc.input == cell.clock;
+
+  ArcOutcome out;
+  out.tables.input = arc.input;
+  out.tables.output = arc.output;
+  out.tables.input_rise = arc.input_rise;
+  out.tables.output_rise = arc.output_rise;
+  out.tables.delay = Table2D(options_.slews, options_.loads);
+  out.tables.output_slew = Table2D(options_.slews, options_.loads);
+  out.tables.energy = Table2D(options_.slews, options_.loads);
+
+  // Build the circuit, skeleton, and solver state once; the grid loop
+  // below replays 49 stimuli through it.
+  ArcBatch batch;
+  if (clk_arc)
+    init_clk_batch(batch, cell, arc, ctx);
+  else
+    init_arc_batch(batch, cell, arc, ctx);
+
+  bool arc_ok = true;
+  for (std::size_t i = 0; arc_ok && i < options_.slews.size(); ++i) {
+    for (std::size_t j = 0; arc_ok && j < options_.loads.size(); ++j) {
+      const auto point = [&](bool relaxed) {
+        return clk_arc
+                   ? simulate_clk_point(batch, cell, arc, options_.slews[i],
+                                        options_.loads[j], relaxed)
+                   : simulate_arc_point(batch, cell, arc, options_.slews[i],
+                                        options_.loads[j], leakage, relaxed);
+      };
+      // Grid points that fail at the default solver settings get one
+      // relaxed retry; an arc whose point still fails is quarantined
+      // as a whole (a partially-filled NLDM table would interpolate
+      // garbage) and the run continues with the remaining arcs.
+      ArcPoint p;
+      try {
+        p = point(false);
+      } catch (const std::runtime_error&) {
+        arc_retries.add(1);
+        try {
+          p = point(true);
+        } catch (const std::runtime_error&) {
+          arc_ok = false;
+          break;
+        }
+      }
+      out.tables.delay.at(i, j) = p.delay;
+      out.tables.output_slew.at(i, j) = p.output_slew;
+      out.tables.energy.at(i, j) = p.energy;
+    }
+  }
+  if (batch.solves > 1) engine_reuse_counter().add(batch.solves - 1);
+  if (!arc_ok) {
+    failed_arcs.add(1);
+    out.ok = false;
+    return out;
+  }
+  grid_points.add(options_.slews.size() * options_.loads.size());
+  return out;
 }
 
 namespace {
@@ -390,29 +599,13 @@ double Characterizer::find_hold(const cells::CellDef& cell,
   return worst;
 }
 
-CellChar Characterizer::characterize(const cells::CellDef& cell) const {
-  OBS_SPAN("charlib.cell", cell.name);
-  static obs::Histogram& cell_seconds =
-      obs::registry().histogram("charlib.cell_seconds");
-  static obs::Counter& cells_counter =
-      obs::registry().counter("charlib.cells_characterized");
-  static obs::Counter& grid_points =
-      obs::registry().counter("charlib.grid_points");
-  const auto t_start = std::chrono::steady_clock::now();
-
-  CellChar out;
+void Characterizer::prep_cell(const cells::CellDef& cell, CellChar& out,
+                              spice::SolveContext& ctx) const {
+  OBS_SPAN("charlib.prep", cell.name);
   out.def = cell;
 
-  // One solver context per cell: every engine this characterize() call
-  // constructs shares these workspaces, so after the first arc sizes them
-  // the rest of the grid runs with zero solver-side heap allocations.
-  // Scoped to the cell task, it is never shared across threads.
-  spice::SolveContext ctx;
-
   // Input pin capacitances: sum of gate capacitances of attached devices.
-  std::vector<std::string> pins = cell.inputs;
-  if (cell.sequential) pins.push_back(cell.clock);
-  for (const auto& pin : pins) {
+  for (const auto& pin : leakage_pattern_pins(cell)) {
     double cap = 0.0;
     for (const auto& t : cell.transistors) {
       if (t.gate != pin) continue;
@@ -431,61 +624,29 @@ CellChar Characterizer::characterize(const cells::CellDef& cell) const {
   for (const auto& s : out.leakage) acc += s.watts;
   out.leakage_avg =
       out.leakage.empty() ? 0.0 : acc / static_cast<double>(out.leakage.size());
+}
 
-  static obs::Counter& arc_retries =
-      obs::registry().counter("charlib.arc_retries");
-  static obs::Counter& failed_arcs =
-      obs::registry().counter("charlib.failed_arcs");
+CellChar Characterizer::characterize(const cells::CellDef& cell) const {
+  OBS_SPAN("charlib.cell", cell.name);
+  static obs::Histogram& cell_seconds =
+      obs::registry().histogram("charlib.cell_seconds");
+  static obs::Counter& cells_counter =
+      obs::registry().counter("charlib.cells_characterized");
+  const auto t_start = std::chrono::steady_clock::now();
+
+  CellChar out;
+  // One solver context for the whole cell: every engine below shares
+  // these workspaces, so after the first arc sizes them the rest of the
+  // cell runs with zero solver-side heap allocations.
+  spice::SolveContext ctx;
+  prep_cell(cell, out, ctx);
 
   for (const auto& arc : cell.arcs) {
-    OBS_SPAN("charlib.arc", arc.input, "->", arc.output);
-    NldmArc tables;
-    tables.input = arc.input;
-    tables.output = arc.output;
-    tables.input_rise = arc.input_rise;
-    tables.output_rise = arc.output_rise;
-    tables.delay = Table2D(options_.slews, options_.loads);
-    tables.output_slew = Table2D(options_.slews, options_.loads);
-    tables.energy = Table2D(options_.slews, options_.loads);
-    bool arc_ok = true;
-    for (std::size_t i = 0; arc_ok && i < options_.slews.size(); ++i) {
-      for (std::size_t j = 0; arc_ok && j < options_.loads.size(); ++j) {
-        const auto point = [&](bool relaxed) {
-          return cell.sequential
-                     ? simulate_clk_arc(cell, arc, options_.slews[i],
-                                        options_.loads[j], ctx, relaxed)
-                     : simulate_arc(cell, arc, options_.slews[i],
-                                    options_.loads[j], out.leakage, ctx,
-                                    relaxed);
-        };
-        // Grid points that fail at the default solver settings get one
-        // relaxed retry; an arc whose point still fails is quarantined
-        // as a whole (a partially-filled NLDM table would interpolate
-        // garbage) and the run continues with the remaining arcs.
-        ArcPoint p;
-        try {
-          p = point(false);
-        } catch (const std::runtime_error&) {
-          arc_retries.add(1);
-          try {
-            p = point(true);
-          } catch (const std::runtime_error&) {
-            arc_ok = false;
-            break;
-          }
-        }
-        tables.delay.at(i, j) = p.delay;
-        tables.output_slew.at(i, j) = p.output_slew;
-        tables.energy.at(i, j) = p.energy;
-      }
-    }
-    if (!arc_ok) {
-      failed_arcs.add(1);
+    ArcOutcome res = characterize_arc(cell, arc, out.leakage, ctx);
+    if (res.ok)
+      out.arcs.push_back(std::move(res.tables));
+    else
       out.failed_arcs.push_back(arc_label(cell, arc));
-      continue;
-    }
-    grid_points.add(options_.slews.size() * options_.loads.size());
-    out.arcs.push_back(std::move(tables));
   }
 
   if (cell.sequential && options_.characterize_setup_hold && !cell.is_latch) {
@@ -506,6 +667,11 @@ Library Characterizer::characterize_all(
   // Full characterization runs in this process: a warm artifact store
   // keeps this at zero, which the sweep bench asserts.
   static obs::Counter& runs = obs::registry().counter("charlib.runs");
+  static obs::Counter& tasks = obs::registry().counter("charlib.tasks");
+  static obs::Counter& pool_reuse =
+      obs::registry().counter("charlib.ctx_pool_reuse");
+  static obs::Counter& cells_counter =
+      obs::registry().counter("charlib.cells_characterized");
   runs.add(1);
   Library lib;
   lib.name = library_name;
@@ -515,13 +681,88 @@ Library Characterizer::characterize_all(
   lib.load_grid = options_.loads;
   lib.cells.resize(cell_defs.size());
 
-  // One task per cell; cells are written by index, so the merged library
-  // (and hence the Liberty artifact) is byte-identical at any thread
-  // count. Exceptions cancel the batch and propagate to the caller.
+  // Solver workspaces are pooled across every task unit below: a unit
+  // checks one out for its lifetime, so buffers warmed by one arc are
+  // reused by the next without any thread-identity dependence (the unit's
+  // RESULT never depends on which instance it drew — see exec/pool.hpp).
+  exec::Pool<spice::SolveContext> pool;
+  const auto checkout = [&]() {
+    auto lease = pool.acquire();
+    tasks.add(1);
+    if (lease.reused()) pool_reuse.add(1);
+    return lease;
+  };
+
+  // Wave one: per-cell prep (pin caps + leakage states). Prep is its own
+  // wave because every combinational arc's energy correction reads its
+  // cell's full leakage vector.
   exec::parallel_for(
       cell_defs.size(),
-      [&](std::size_t i) { lib.cells[i] = characterize(cell_defs[i]); },
+      [&](std::size_t i) {
+        const auto ctx = checkout();
+        prep_cell(cell_defs[i], lib.cells[i], *ctx);
+      },
       options_.threads);
+
+  // Wave two: the actual wall — one flat unit per (cell, arc) grid plus
+  // one per flop's setup/hold bisection, so parallelism lives at the
+  // arc x (slew, load) level. A nested parallel_for would run inline
+  // (see exec/exec.hpp), hence the flattening into a single task list.
+  struct Unit {
+    std::size_t cell = 0;
+    std::size_t arc = 0;  // ignored when setup_hold
+    bool setup_hold = false;
+  };
+  std::vector<Unit> units;
+  for (std::size_t i = 0; i < cell_defs.size(); ++i) {
+    for (std::size_t a = 0; a < cell_defs[i].arcs.size(); ++a)
+      units.push_back({i, a, false});
+    if (cell_defs[i].sequential && options_.characterize_setup_hold &&
+        !cell_defs[i].is_latch)
+      units.push_back({i, 0, true});
+  }
+  struct UnitResult {
+    ArcOutcome arc;
+    double setup = 0.0;
+    double hold = 0.0;
+  };
+  std::vector<UnitResult> results(units.size());
+  exec::parallel_for(
+      units.size(),
+      [&](std::size_t u) {
+        const auto ctx = checkout();
+        const Unit& unit = units[u];
+        const cells::CellDef& cell = cell_defs[unit.cell];
+        if (unit.setup_hold) {
+          results[u].setup = find_setup(cell, *ctx);
+          results[u].hold = find_hold(cell, *ctx);
+        } else {
+          results[u].arc = characterize_arc(
+              cell, cell.arcs[unit.arc], lib.cells[unit.cell].leakage, *ctx);
+        }
+      },
+      options_.threads);
+
+  // Deterministic merge: units were emitted in (cell, arc declaration)
+  // order and results are keyed by unit index, so arcs, failed_arcs, and
+  // setup/hold land exactly where a serial run would put them — the
+  // library (and the Liberty text rendered from it) is byte-identical at
+  // any thread count.
+  for (std::size_t u = 0; u < units.size(); ++u) {
+    const Unit& unit = units[u];
+    CellChar& cc = lib.cells[unit.cell];
+    if (unit.setup_hold) {
+      cc.setup_time = results[u].setup;
+      cc.hold_time = results[u].hold;
+    } else if (results[u].arc.ok) {
+      cc.arcs.push_back(std::move(results[u].arc.tables));
+    } else {
+      cc.failed_arcs.push_back(arc_label(cell_defs[unit.cell],
+                                         cell_defs[unit.cell].arcs[unit.arc]));
+    }
+  }
+  cells_counter.add(cell_defs.size());
+
   // Aggregate quarantined arcs in cell order, so the list (and the
   // manifest it lands in) is deterministic at any thread count.
   for (const auto& cell : lib.cells)

@@ -7,11 +7,25 @@
 // delay / output slew / switching energy fill the NLDM tables. Leakage is
 // measured per static input state; sequential cells additionally get
 // clock-to-output arcs and setup/hold constraints found by bisection.
+//
+// Throughput structure: characterization is embarrassingly parallel at
+// the arc x (slew, load) grid level, so characterize_all flattens the
+// work into (cell-prep, arc-grid, setup/hold) units fanned over
+// cryo::exec in two waves (arc energy needs the cell's leakage, measured
+// in wave one), with spice::SolveContexts checked out of an exec::Pool
+// per unit. Each arc unit builds its transistor circuit and spice::Engine
+// once and replays the whole grid by swapping the stimulus waveform and
+// load capacitance in place, so the MNA skeleton, stamp-slot lists, and
+// solver workspaces are constructed once per (cell, arc) instead of once
+// per grid point. Results merge in (cell, arc declaration) order, so the
+// library — and every Liberty artifact rendered from it — is
+// byte-identical at any thread count.
 #pragma once
 
 #include <memory>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "cells/celldef.hpp"
 #include "charlib/library.hpp"
@@ -24,6 +38,15 @@ class SolveContext;
 }  // namespace cryo::spice
 
 namespace cryo::charlib {
+
+// Pattern bit order shared by leakage measurement and arc stimuli: bit i
+// of a LeakageState::pattern is pins[i] held high, where pins lists the
+// data inputs in characterization order followed by the clock/enable pin
+// for sequential cells. One definition, used by measure_leakage to
+// enumerate states and by the arc stimuli to look states up, so the two
+// can never disagree on bit order (the arc path asserts the measured
+// pattern space matches this pin list).
+std::vector<std::string> leakage_pattern_pins(const cells::CellDef& cell);
 
 struct CharOptions {
   double temperature = 300.0;  // [K]
@@ -47,10 +70,12 @@ class Characterizer {
   Characterizer(device::ModelCard nmos, device::ModelCard pmos,
                 CharOptions options);
 
-  // Characterizes a single cell.
+  // Characterizes a single cell (serially; byte-identical to the same
+  // cell's slice of a characterize_all run).
   CellChar characterize(const cells::CellDef& cell) const;
 
-  // Characterizes a set of cells in parallel into a library.
+  // Characterizes a set of cells into a library, arc-parallel over
+  // cryo::exec (see the file comment for the task structure).
   Library characterize_all(std::span<const cells::CellDef> cells,
                            const std::string& library_name) const;
 
@@ -63,6 +88,24 @@ class Characterizer {
     double energy = 0.0;
   };
 
+  // One batched (cell, arc) work unit: the transistor circuit and the
+  // spice::Engine on top of it are built once, then every (slew, load)
+  // stimulus of the grid is replayed by mutating the drive waveform and
+  // the load capacitance in place (values only — the topology, and with
+  // it every Engine precomputation, is frozen). Defined in the .cpp; it
+  // lives on a task's stack and is deliberately non-copyable because the
+  // engine holds a reference into the batch's circuit.
+  struct ArcBatch;
+
+  // Result of one (cell, arc) unit: the filled NLDM tables, or ok=false
+  // when a grid point failed even the relaxed retry (the arc is then
+  // quarantined as a whole — a partially filled table would interpolate
+  // garbage).
+  struct ArcOutcome {
+    NldmArc tables;
+    bool ok = true;
+  };
+
   // Builds the transistor-level circuit of a cell with tabulated-current
   // caches attached to every device.
   spice::Circuit cell_circuit(
@@ -70,26 +113,44 @@ class Characterizer {
       const std::vector<std::pair<std::string, spice::Waveform>>& drives,
       const std::string& load_pin, double load_farads) const;
 
-  // The per-cell spice::SolveContext (`ctx`) threads the engine's solver
-  // workspaces through every simulation of one characterize() call, so
-  // after the first arc warms the buffers the remaining grid points run
-  // allocation-free. One context per cell task keeps characterize_all's
-  // cell-level parallelism data-race free.
-  //
-  // Simulates one combinational arc at one (slew, load) point. `relaxed`
-  // is the last-chance retry configuration: larger NR budget, looser LTE
+  // Per-cell prep unit (wave one of characterize_all): cell metadata,
+  // input pin capacitances, and the per-pattern leakage states every
+  // combinational arc's energy correction reads.
+  void prep_cell(const cells::CellDef& cell, CellChar& out,
+                 spice::SolveContext& ctx) const;
+
+  // Whole-grid (cell, arc) unit: one batch, all (slew, load) stimuli,
+  // with the per-point relaxed retry and quarantine-on-failure semantics.
+  ArcOutcome characterize_arc(const cells::CellDef& cell,
+                              const cells::TimingArc& arc,
+                              const std::vector<LeakageState>& leakage,
+                              spice::SolveContext& ctx) const;
+
+  // Batch construction for combinational and clock->output arcs. The
+  // `ctx` threads the caller's solver workspaces through every stimulus
+  // of the batch, so after the first point warms the buffers the rest of
+  // the grid runs allocation-free. One context per work unit keeps the
+  // arc-level parallelism data-race free.
+  void init_arc_batch(ArcBatch& batch, const cells::CellDef& cell,
+                      const cells::TimingArc& arc,
+                      spice::SolveContext& ctx) const;
+  void init_clk_batch(ArcBatch& batch, const cells::CellDef& cell,
+                      const cells::TimingArc& arc,
+                      spice::SolveContext& ctx) const;
+
+  // Simulates one combinational arc stimulus on a batch. `relaxed` is the
+  // last-chance retry configuration: larger NR budget, looser LTE
   // acceptance, and more settle-window extensions.
-  ArcPoint simulate_arc(const cells::CellDef& cell,
-                        const cells::TimingArc& arc, double slew,
-                        double load,
-                        const std::vector<LeakageState>& leakage,
-                        spice::SolveContext& ctx,
-                        bool relaxed = false) const;
-  // Simulates one clock->output arc of a sequential cell.
-  ArcPoint simulate_clk_arc(const cells::CellDef& cell,
-                            const cells::TimingArc& arc, double slew,
-                            double load, spice::SolveContext& ctx,
-                            bool relaxed = false) const;
+  ArcPoint simulate_arc_point(ArcBatch& batch, const cells::CellDef& cell,
+                              const cells::TimingArc& arc, double slew,
+                              double load,
+                              const std::vector<LeakageState>& leakage,
+                              bool relaxed) const;
+  // Simulates one clock->output stimulus of a sequential cell on a batch.
+  ArcPoint simulate_clk_point(ArcBatch& batch, const cells::CellDef& cell,
+                              const cells::TimingArc& arc, double slew,
+                              double load, bool relaxed) const;
+
   std::vector<LeakageState> measure_leakage(const cells::CellDef& cell,
                                             spice::SolveContext& ctx) const;
   double find_setup(const cells::CellDef& cell,

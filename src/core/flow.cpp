@@ -143,6 +143,7 @@ std::shared_ptr<CornerState> CryoSocFlow::build_corner_state(
     charlib::CharOptions options;
     options.temperature = corner.temperature;
     options.vdd = corner.vdd;
+    options.threads = config_.characterize_threads;
     charlib::Characterizer characterizer(*nmos_, *pmos_, options);
     const auto defs = config_.cells_override
                           ? *config_.cells_override

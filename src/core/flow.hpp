@@ -64,6 +64,11 @@ struct FlowConfig {
   // evict least-recently-used corners; evicted corners reload from the
   // artifact store on the next touch.
   std::size_t corner_cache_capacity = 8;
+  // Worker threads for characterizing an uncached corner: > 0 explicit,
+  // 0 = defer to CRYOSOC_THREADS / hardware concurrency (see
+  // charlib::CharOptions::threads). Artifacts are byte-identical at any
+  // setting; this only trades wall-clock for cores.
+  int characterize_threads = 0;
   std::uint64_t seed = 42;
 };
 

@@ -1,0 +1,106 @@
+// Reusable worker-resource pool for parallel regions.
+//
+// Flat task lists fanned over exec::parallel_for often need an expensive
+// per-worker workspace (charlib checks out one spice::SolveContext per
+// task so solver buffers warmed by one arc are reused by the next). Tasks
+// cannot key workspaces by thread id — determinism forbids any
+// thread-identity dependence — so instead they check a resource out of a
+// shared pool for the duration of one task:
+//
+//   exec::Pool<spice::SolveContext> pool;
+//   exec::parallel_for(tasks.size(), [&](std::size_t i) {
+//     auto lease = pool.acquire();   // reuses an idle instance if any
+//     run(tasks[i], *lease);         // exclusive access while held
+//   });                              // returned to the pool on scope exit
+//
+// Guarantees:
+//  - acquire() hands out an instance exclusively; concurrent holders never
+//    alias. At most max(concurrent holders) instances are ever created.
+//  - Results must not depend on WHICH instance a task drew (instances
+//    differ only in warm-buffer history); consumers that honor that —
+//    SolveContext::prepare zeroes scratch on any dimension switch exactly
+//    so pooled and fresh contexts are byte-equivalent — keep merged output
+//    independent of scheduling.
+//  - created() / reuses() expose pool effectiveness for obs counters.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace cryo::exec {
+
+template <typename T>
+class Pool {
+ public:
+  Pool() = default;
+
+  // Exclusive handle on a pooled instance; returns it on destruction.
+  class Lease {
+   public:
+    Lease(Pool* pool, std::unique_ptr<T> item, bool reused)
+        : pool_(pool), item_(std::move(item)), reused_(reused) {}
+    Lease(Lease&& other) noexcept
+        : pool_(std::exchange(other.pool_, nullptr)),
+          item_(std::move(other.item_)),
+          reused_(other.reused_) {}
+    Lease& operator=(Lease&&) = delete;
+    Lease(const Lease&) = delete;
+    ~Lease() {
+      if (pool_ != nullptr && item_ != nullptr)
+        pool_->release(std::move(item_));
+    }
+
+    T& operator*() const { return *item_; }
+    T* operator->() const { return item_.get(); }
+    // True when this lease drew an instance a previous lease warmed.
+    bool reused() const { return reused_; }
+
+   private:
+    Pool* pool_;
+    std::unique_ptr<T> item_;
+    bool reused_;
+  };
+
+  // Draws an idle instance, or default-constructs a new one when every
+  // instance is currently held.
+  Lease acquire() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!idle_.empty()) {
+        std::unique_ptr<T> item = std::move(idle_.back());
+        idle_.pop_back();
+        ++reuses_;
+        return Lease(this, std::move(item), /*reused=*/true);
+      }
+      ++created_;
+    }
+    return Lease(this, std::make_unique<T>(), /*reused=*/false);
+  }
+
+  // Instances constructed over the pool's lifetime (== peak concurrency).
+  std::uint64_t created() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return created_;
+  }
+  // acquire() calls served by a previously warmed instance.
+  std::uint64_t reuses() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return reuses_;
+  }
+
+ private:
+  void release(std::unique_ptr<T> item) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    idle_.push_back(std::move(item));
+  }
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<T>> idle_;
+  std::uint64_t created_ = 0;
+  std::uint64_t reuses_ = 0;
+};
+
+}  // namespace cryo::exec

@@ -58,6 +58,21 @@ void Circuit::add_mosfet(const std::string& name, const std::string& drain,
   capacitors_.push_back({s, kGround, caps.csb});
 }
 
+void Circuit::set_vsource_wave(std::size_t index, Waveform wave) {
+  vsources_.at(index).wave = std::move(wave);
+}
+
+std::size_t Circuit::vsource_index(const std::string& name) const {
+  for (std::size_t i = 0; i < vsources_.size(); ++i)
+    if (vsources_[i].name == name) return i;
+  throw std::out_of_range("Circuit: unknown source " + name);
+}
+
+void Circuit::set_capacitor_farads(std::size_t index, double farads) {
+  if (farads < 0.0) throw std::invalid_argument("capacitor must be >= 0");
+  capacitors_.at(index).farads = farads;
+}
+
 void Circuit::append_copy(const Circuit& other, const std::string& prefix) {
   const auto map = [&](NodeId id) {
     return id == kGround ? kGround : node(prefix + other.node_name(id));

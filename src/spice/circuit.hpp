@@ -61,6 +61,18 @@ class Circuit {
                   const std::string& gate, const std::string& source,
                   const device::FinFet& fet);
 
+  // In-place stimulus mutation for batched sweeps: a characterization arc
+  // builds its circuit (and the Engine on top of it) once, then replays
+  // the whole (slew x load) grid by swapping source waveforms and the
+  // load capacitance between solves. Values only — topology (nodes,
+  // element count, connectivity) is frozen, so every Engine-side
+  // precomputation (stamp-slot lists, sparse pattern) stays valid.
+  // Both throw std::out_of_range on an unknown index/name.
+  void set_vsource_wave(std::size_t index, Waveform wave);
+  // Index of the named source (for resolving once before a sweep).
+  std::size_t vsource_index(const std::string& name) const;
+  void set_capacitor_farads(std::size_t index, double farads);
+
   // Appends a full copy of `other`, renaming every non-ground node (and
   // every element) to "<prefix><name>"; ground stays shared. Elements are
   // copied raw, so device capacitances are not re-derived (they are

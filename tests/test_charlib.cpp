@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "charlib/characterizer.hpp"
+#include "core/error.hpp"
 #include "device/modelcard.hpp"
 #include "liberty/liberty.hpp"
 #include "obs/metrics.hpp"
@@ -198,6 +199,113 @@ TEST(Characterizer, HostileArcIsQuarantinedNotFatal) {
   EXPECT_GE(retries.value() - retries0, 1u);
 }
 
+TEST(Characterizer, WidePatternSpaceIsStructuredError) {
+  // 2^pins leakage patterns are enumerated in a 32-bit word; a cell with
+  // >= 32 static pins used to shift past it (undefined behavior). It must
+  // now fail structurally, before any solve runs.
+  CharOptions opt;
+  opt.slews = {8e-12};
+  opt.loads = {2e-15};
+  opt.characterize_setup_hold = false;
+  Characterizer ch(device::golden_nmos(), device::golden_pmos(), opt);
+
+  cells::CellDef wide = cells::make_cell("INV", 1, cells::VtFlavor::kLvt);
+  wide.name = "WIDE32";
+  wide.inputs.clear();
+  for (int i = 0; i < 32; ++i) wide.inputs.push_back("I" + std::to_string(i));
+  wide.arcs.clear();
+  try {
+    ch.characterize(wide);
+    FAIL() << "expected core::FlowError";
+  } catch (const core::FlowError& e) {
+    EXPECT_EQ(e.stage(), "characterize");
+    EXPECT_NE(e.detail().find("WIDE32"), std::string::npos);
+    EXPECT_NE(e.detail().find("32 static pins"), std::string::npos);
+  }
+
+  // The clock/enable pin counts against the same budget: 31 data inputs
+  // plus a clock is 32 static pins too.
+  cells::CellDef seq = wide;
+  seq.name = "WIDE_SEQ";
+  seq.inputs.pop_back();
+  seq.sequential = true;
+  seq.clock = "CK";
+  EXPECT_EQ(leakage_pattern_pins(seq).size(), 32u);
+  EXPECT_THROW(ch.characterize(seq), core::FlowError);
+}
+
+TEST(Characterizer, LatchTransparentArcUsesUnifiedLeakagePatterns) {
+  // A combinational arc through a sequential cell (transparent-high
+  // latch, EN held high, D -> Q) exercises the unified pattern order:
+  // stimuli must index leakage states over inputs + clock — the exact
+  // shape the old per-inputs-only indexing mis-addressed — and the
+  // enable pin must actually be driven at its side value.
+  CharOptions opt;
+  opt.temperature = 300.0;
+  opt.slews = {8e-12};
+  opt.loads = {2e-15};
+  opt.characterize_setup_hold = false;
+
+  cells::CellDef latch = cells::make_cell("LATCH", 1, cells::VtFlavor::kLvt);
+  EXPECT_EQ(leakage_pattern_pins(latch),
+            (std::vector<std::string>{"D", "EN"}));
+  latch.arcs.clear();
+  latch.arcs.push_back({"D", "Q", true, true, {{"EN", true}}});
+  latch.arcs.push_back({"D", "Q", false, false, {{"EN", true}}});
+
+  Characterizer ch(device::golden_nmos(), device::golden_pmos(), opt);
+  const CellChar cc = ch.characterize(latch);
+  ASSERT_EQ(cc.leakage.size(), 4u);  // 2^{D, EN}
+  EXPECT_TRUE(cc.failed_arcs.empty());
+  ASSERT_EQ(cc.arcs.size(), 2u);
+  for (const auto& arc : cc.arcs) {
+    EXPECT_GT(arc.delay.at(0, 0), 0.0);
+    EXPECT_LT(arc.delay.at(0, 0), 300e-12);
+    EXPECT_GE(arc.energy.at(0, 0), 0.0);
+  }
+}
+
+TEST(Characterizer, SettleRetryRecoversAndIsCounted) {
+  // An inverter with a ten-deep series pull-up stack drives its output
+  // far slower than the settle-window heuristic (80 ps + 25 ps/fF)
+  // assumes: the first attempt fails the settled check, the widened
+  // window recovers, and — because the batched path replays every
+  // attempt through one engine — the recovered table must still be sane.
+  // The retry is observable via charlib.settle_retries.
+  cells::CellDef weak;
+  weak.name = "WEAKPU";
+  weak.base = "WEAKPU";
+  weak.inputs = {"A"};
+  weak.outputs.push_back({"Y", 0b01});  // Y = !A
+  std::string prev = "vdd";
+  for (int k = 0; k < 10; ++k) {
+    const std::string next = k == 9 ? "Y" : "p" + std::to_string(k);
+    weak.transistors.push_back({device::Polarity::kPmos,
+                                "mp" + std::to_string(k), next, "A", prev,
+                                1});
+    prev = next;
+  }
+  weak.transistors.push_back(
+      {device::Polarity::kNmos, "mn0", "Y", "A", "0", 1});
+  weak.arcs.push_back({"A", "Y", false, true, {}});
+
+  CharOptions opt;
+  opt.temperature = 300.0;
+  opt.slews = {8e-12};
+  opt.loads = {8e-15};
+  opt.characterize_setup_hold = false;
+
+  auto& retries = obs::registry().counter("charlib.settle_retries");
+  const auto before = retries.value();
+  Characterizer ch(device::golden_nmos(), device::golden_pmos(), opt);
+  const CellChar cc = ch.characterize(weak);
+  EXPECT_GT(retries.value(), before) << "expected a widened settle window";
+  EXPECT_TRUE(cc.failed_arcs.empty());
+  ASSERT_EQ(cc.arcs.size(), 1u);
+  EXPECT_GT(cc.arcs[0].delay.at(0, 0), 50e-12);
+  EXPECT_LT(cc.arcs[0].delay.at(0, 0), 500e-12);
+}
+
 TEST(Characterizer, ParallelLibraryIsByteIdenticalToSerial) {
   // The tentpole guarantee of the exec refactor: characterize_all merges
   // per-cell results in input order, so the rendered Liberty text must not
@@ -221,6 +329,53 @@ TEST(Characterizer, ParallelLibraryIsByteIdenticalToSerial) {
   };
   const std::string serial = render(1);
   EXPECT_EQ(serial, render(4));
+}
+
+TEST(Characterizer, QuarantineOrderingIsThreadCountInvariant) {
+  // Byte-identity under the arc-parallel path must also hold for the
+  // failure side: broken cells interleaved between healthy ones yield the
+  // same Liberty text AND the same quarantined_arcs list (content and
+  // order) at 1, 2, and 8 threads — a relaxed-retry failure on one worker
+  // must not reorder the merged catalog.
+  CharOptions opt;
+  opt.temperature = 300.0;
+  opt.slews = {2e-12, 8e-12};
+  opt.loads = {1e-15, 4e-15};
+  opt.characterize_setup_hold = false;
+
+  const auto broken = [](const std::string& name) {
+    cells::CellDef b = cells::make_cell("INV", 1, cells::VtFlavor::kLvt);
+    b.name = name;
+    b.arcs.resize(1);
+    b.arcs[0].output = "Z";  // floating: fails default AND relaxed retry
+    b.arcs[0].input_rise = true;
+    b.arcs[0].output_rise = false;
+    return b;
+  };
+  const std::vector<cells::CellDef> defs = {
+      cells::make_cell("INV", 1, cells::VtFlavor::kLvt),
+      broken("INV_BROKEN_A"),
+      cells::make_cell("NAND2", 1, cells::VtFlavor::kLvt),
+      broken("INV_BROKEN_B"),
+  };
+
+  std::vector<std::string> first_quarantine;
+  const auto render = [&](int threads) {
+    CharOptions o = opt;
+    o.threads = threads;
+    Characterizer ch(device::golden_nmos(), device::golden_pmos(), o);
+    const Library lib = ch.characterize_all(defs, "mixed");
+    if (first_quarantine.empty()) first_quarantine = lib.quarantined_arcs;
+    std::string text = liberty::write(lib);
+    for (const auto& q : lib.quarantined_arcs) text += "\nquarantined " + q;
+    return text;
+  };
+  const std::string serial = render(1);
+  EXPECT_EQ(serial, render(2));
+  EXPECT_EQ(serial, render(8));
+  ASSERT_EQ(first_quarantine.size(), 2u);
+  EXPECT_EQ(first_quarantine[0], "INV_BROKEN_A:A_rise->Z_fall");
+  EXPECT_EQ(first_quarantine[1], "INV_BROKEN_B:A_rise->Z_fall");
 }
 
 }  // namespace

@@ -397,6 +397,52 @@ TEST(SolveContext, IsReusedAcrossCircuits) {
   EXPECT_EQ(ctx.allocations(), after_big);
 }
 
+TEST(SolveContext, BatchedStimulusReuseIsBitIdentical) {
+  // The batched characterizer replays a whole (slew, load) grid — and the
+  // adaptive settle-retry ladder — through ONE engine, mutating only the
+  // drive waveform and the load capacitance between transients. No
+  // engine- or context-side state may survive a solve: a reused engine's
+  // next transient must be bit-identical to a fresh engine + fresh
+  // context solving the same stimulus. This pins the cross-solve reset of
+  // the cached skeleton, step control, and cap companion state.
+  Circuit reused = stamping_identity_circuit(300.0);
+  const std::size_t drive = reused.vsource_index("va");
+  // The explicit load is the last capacitor added (after device caps).
+  const std::size_t load = reused.capacitors().size() - 1;
+
+  SolveContext warm_ctx;
+  Engine engine(reused, &warm_ctx);
+  TranOptions first;
+  first.t_stop = 80e-12;  // a short "attempt 0" window
+  engine.transient(first);
+
+  const Waveform next = Waveform::ramp(0.0, 0.7, 10e-12, 20e-12);
+  reused.set_vsource_wave(drive, next);
+  reused.set_capacitor_farads(load, 5e-15);
+  TranOptions opt;
+  opt.t_stop = 200e-12;  // the widened retry window
+  const auto r_reused = engine.transient(opt);
+
+  Circuit fresh = stamping_identity_circuit(300.0);
+  fresh.set_vsource_wave(fresh.vsource_index("va"), next);
+  fresh.set_capacitor_farads(fresh.capacitors().size() - 1, 5e-15);
+  SolveContext fresh_ctx;
+  Engine fresh_engine(fresh, &fresh_ctx);
+  const auto r_fresh = fresh_engine.transient(opt);
+
+  for (const char* node : {"a", "b", "mid", "out", "load", "vdd"}) {
+    const auto t_reused = r_reused.node(node);
+    const auto t_fresh = r_fresh.node(node);
+    ASSERT_EQ(t_reused.time.size(), t_fresh.time.size()) << node;
+    for (std::size_t i = 0; i < t_reused.time.size(); ++i) {
+      ASSERT_EQ(t_reused.time[i], t_fresh.time[i]) << node << " sample " << i;
+      ASSERT_EQ(t_reused.value[i], t_fresh.value[i])
+          << node << " sample " << i;
+    }
+  }
+  ASSERT_EQ(r_reused.final_state(), r_fresh.final_state());
+}
+
 TEST(LuSolve, RejectsIllConditionedRelative) {
   // Scaled near-singular system: every entry is far above the old 1e-300
   // absolute floor, but the second pivot collapses relative to its
