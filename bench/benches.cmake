@@ -34,6 +34,11 @@ target_link_libraries(sweep_corners PRIVATE cryo_sweep)
 set_target_properties(sweep_corners PROPERTIES
   RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
 
+add_executable(serve_load bench/serve_load.cpp)
+target_link_libraries(serve_load PRIVATE cryo_serve)
+set_target_properties(serve_load PROPERTIES
+  RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+
 add_executable(perf_microbench bench/perf_microbench.cpp)
 target_link_libraries(perf_microbench PRIVATE cryo_core benchmark::benchmark)
 set_target_properties(perf_microbench PROPERTIES

@@ -27,8 +27,26 @@ std::string default_lib_dir() {
   return "lib";
 }
 
+namespace {
+
+// Reject invalid configs up front with a structured error instead of
+// clamping silently or failing deep inside a characterization.
+FlowConfig validate_config(FlowConfig config) {
+  if (config.corner_cache_capacity < 1)
+    throw FlowError("config", "",
+                    "FlowConfig.corner_cache_capacity must be >= 1 (got " +
+                        std::to_string(config.corner_cache_capacity) + ")");
+  if (config.characterize_threads < 0)
+    throw FlowError("config", "",
+                    "FlowConfig.characterize_threads must be >= 0 (got " +
+                        std::to_string(config.characterize_threads) + ")");
+  return config;
+}
+
+}  // namespace
+
 CryoSocFlow::CryoSocFlow(FlowConfig config)
-    : config_(std::move(config)),
+    : config_(validate_config(std::move(config))),
       corners_(config_.corner_cache_capacity, "sweep.corner_cache") {
   if (config_.lib_dir.empty()) config_.lib_dir = default_lib_dir();
 }
@@ -243,42 +261,6 @@ power::PowerReport CryoSocFlow::measured_power(
   OBS_SPAN("flow.power_measured", corner.label());
   power::PowerAnalyzer analyzer(soc(), state->library, state->sram, engine);
   return analyzer.analyze(activity);
-}
-
-// ---- Deprecated scalar-temperature shims --------------------------------
-
-namespace {
-// Historical semantics of the scalar API: any temperature below 100 K
-// meant the 10 K library, anything else the 300 K one.
-double snap_temperature(double temperature) {
-  return temperature < 100.0 ? 10.0 : 300.0;
-}
-}  // namespace
-
-const charlib::Library& CryoSocFlow::library(double temperature) {
-  auto state = corner_state_mutable(corner(snap_temperature(temperature)));
-  // Pin the state so the returned reference survives cache eviction for
-  // the flow's lifetime (the price of the deprecated reference API).
-  std::lock_guard<std::mutex> lock(pin_mutex_);
-  for (const auto& pinned : pinned_)
-    if (pinned.get() == state.get()) return state->library;
-  pinned_.push_back(state);
-  return state->library;
-}
-
-sta::TimingReport CryoSocFlow::timing(double temperature) {
-  return timing(corner(snap_temperature(temperature)));
-}
-
-power::PowerReport CryoSocFlow::workload_power(
-    double temperature, const power::ActivityProfile& profile) {
-  return workload_power(corner(snap_temperature(temperature)), profile);
-}
-
-sram::SramModel CryoSocFlow::sram_model(double temperature) {
-  // Never snapped historically: SRAM models were built at the exact
-  // requested temperature.
-  return sram_model(Corner{config_.vdd, temperature, ""});
 }
 
 const netlist::Netlist& CryoSocFlow::soc() {

@@ -15,8 +15,8 @@
 // SPICE characterization runs once ever per corner; benches and examples
 // load the artifacts afterwards.
 //
-// The old scalar-temperature overloads (library(300.0), ...) survive as
-// deprecated shims that snap to the canonical 300 K / 10 K corners.
+// The typed request/response front door over this class is cryo::serve
+// (serve/request.hpp, serve/service.hpp).
 #pragma once
 
 #include <cstdint>
@@ -62,12 +62,14 @@ struct FlowConfig {
   // Bound on the per-corner state cache (library + SRAM model + STA
   // engine per resident corner). Sweeps over grids larger than this
   // evict least-recently-used corners; evicted corners reload from the
-  // artifact store on the next touch.
+  // artifact store on the next touch. Must be >= 1 (validated at
+  // construction).
   std::size_t corner_cache_capacity = 8;
   // Worker threads for characterizing an uncached corner: > 0 explicit,
   // 0 = defer to CRYOSOC_THREADS / hardware concurrency (see
   // charlib::CharOptions::threads). Artifacts are byte-identical at any
-  // setting; this only trades wall-clock for cores.
+  // setting; this only trades wall-clock for cores. Must be >= 0
+  // (validated at construction).
   int characterize_threads = 0;
   std::uint64_t seed = 42;
 };
@@ -94,6 +96,8 @@ struct CornerState {
 
 class CryoSocFlow {
  public:
+  // Throws core::FlowError{stage="config"} when the config is invalid
+  // (corner_cache_capacity < 1, characterize_threads < 0).
   explicit CryoSocFlow(FlowConfig config = {});
 
   // Calibrated devices (runs the extraction flow on first use).
@@ -132,25 +136,6 @@ class CryoSocFlow {
   power::PowerReport measured_power(const Corner& corner,
                                     const gatesim::MeasuredActivity& activity);
 
-  // ---- Deprecated scalar-temperature shims -----------------------------
-  //
-  // Thin wrappers over the corner-keyed surface that snap any temperature
-  // to the canonical corners (T < 100 -> corner(10), else corner(300)) at
-  // the flow's nominal vdd, matching the historical behavior exactly.
-  // sram_model(double) keeps the exact temperature (it never snapped).
-
-  [[deprecated("use library(const Corner&); this shim snaps T to 300K/10K")]]
-  const charlib::Library& library(double temperature);
-  [[deprecated("use timing(const Corner&); this shim snaps T to 300K/10K")]]
-  sta::TimingReport timing(double temperature);
-  [[deprecated(
-      "use workload_power(const Corner&, ...); this shim snaps T to "
-      "300K/10K")]]
-  power::PowerReport workload_power(double temperature,
-                                    const power::ActivityProfile& profile);
-  [[deprecated("use sram_model(const Corner&)")]]
-  sram::SramModel sram_model(double temperature);
-
   // The synthesized SoC netlist (built and optimized with the 300 K
   // library, as the paper does). Thread-safe; built once.
   const netlist::Netlist& soc();
@@ -183,11 +168,6 @@ class CryoSocFlow {
   std::once_flag soc_once_;
   std::optional<netlist::Netlist> soc_;
   CornerCache<CornerState> corners_;
-  // States handed out by the deprecated reference-returning library(double)
-  // shim are pinned for the flow's lifetime so the references stay valid
-  // across cache eviction.
-  std::mutex pin_mutex_;
-  std::vector<std::shared_ptr<CornerState>> pinned_;
 };
 
 }  // namespace cryo::core

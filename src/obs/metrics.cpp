@@ -36,12 +36,40 @@ void Histogram::observe(double v) {
   while (!sum_.compare_exchange_weak(cur, cur + v,
                                      std::memory_order_relaxed)) {
   }
+  double m = max_.load(std::memory_order_relaxed);
+  while (v > m &&
+         !max_.compare_exchange_weak(m, v, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::quantile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double max = max_value();
+  const double target = q * static_cast<double>(n);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    const double in_bucket = static_cast<double>(bucket(i));
+    if (in_bucket == 0.0) continue;
+    if (cum + in_bucket >= target) {
+      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      const double hi = bounds_[i];
+      const double frac = std::clamp((target - cum) / in_bucket, 0.0, 1.0);
+      return std::min(lo + frac * (hi - lo), max);
+    }
+    cum += in_bucket;
+  }
+  // Target rank lives in the overflow bucket: the exact max is the only
+  // finite statement we can make about it.
+  return max;
 }
 
 void Histogram::reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
 }
 
 // Instruments live in node-stable maps so references handed out by the
@@ -125,7 +153,10 @@ std::string Registry::snapshot_json() const {
     first = false;
     out += "      \"" + name + "\": {\"count\": " +
            std::to_string(h->count()) + ", \"sum\": " +
-           number_text(h->sum()) + ", \"buckets\": [";
+           number_text(h->sum()) + ", \"max\": " + number_text(h->max_value()) +
+           ", \"p50\": " + number_text(h->quantile(0.5)) +
+           ", \"p95\": " + number_text(h->quantile(0.95)) +
+           ", \"p99\": " + number_text(h->quantile(0.99)) + ", \"buckets\": [";
     for (std::size_t i = 0; i + 1 < h->bucket_count(); ++i) {
       if (i) out += ", ";
       out += "{\"le\": " + number_text(h->bound(i)) + ", \"count\": " +

@@ -76,6 +76,9 @@ class Histogram {
   void observe(double v);
   std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   double sum() const { return sum_.load(std::memory_order_relaxed); }
+  // Largest sample observed since the last reset (0 when empty). Tracked
+  // exactly, so quantile() can stay finite even for overflow samples.
+  double max_value() const { return max_.load(std::memory_order_relaxed); }
   std::size_t bucket_count() const { return bounds_.size() + 1; }
   double bound(std::size_t i) const { return bounds_[i]; }
   // Bucket i covers (bounds[i-1], bounds[i]]; index bounds_.size() is the
@@ -83,6 +86,18 @@ class Histogram {
   std::uint64_t bucket(std::size_t i) const {
     return buckets_[i].load(std::memory_order_relaxed);
   }
+
+  // Estimated q-quantile (q in [0, 1]) for non-negative samples, e.g.
+  // quantile(0.99) = p99. Deterministic bucket interpolation: the target
+  // rank q*count is located in the cumulative bucket counts and linearly
+  // interpolated inside its bucket (bucket 0 spans [0, bounds[0]]); ranks
+  // past the last bound land in the overflow bucket and report
+  // max_value(). The result is clamped to max_value(), so it is always
+  // finite and never exceeds an actually-observed sample. Returns 0 when
+  // the histogram is empty. Service latency gates (serve.latency.*) read
+  // p50/p95/p99 through this instead of re-parsing snapshot JSON.
+  double quantile(double q) const;
+
   void reset();
 
  private:
@@ -90,6 +105,7 @@ class Histogram {
   std::vector<std::atomic<std::uint64_t>> buckets_;
   std::atomic<std::uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
+  std::atomic<double> max_{0.0};
 };
 
 class Registry {

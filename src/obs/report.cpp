@@ -141,6 +141,50 @@ std::string Json::dump(int indent) const {
   return out;
 }
 
+void Json::dump_line_into(std::string& out) const {
+  char buf[48];
+  switch (kind_) {
+    case Kind::kNull: out += "null"; break;
+    case Kind::kBool: out += bool_ ? "true" : "false"; break;
+    case Kind::kInt: out += std::to_string(int_); break;
+    case Kind::kDouble:
+      std::snprintf(buf, sizeof buf, "%.12g", num_);
+      out += buf;
+      break;
+    case Kind::kString:
+      out += '"';
+      escape_into(out, str_);
+      out += '"';
+      break;
+    case Kind::kRaw: out += str_; break;
+    case Kind::kArray:
+      out += '[';
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (i) out += ',';
+        items_[i].dump_line_into(out);
+      }
+      out += ']';
+      break;
+    case Kind::kObject:
+      out += '{';
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        if (i) out += ',';
+        out += '"';
+        escape_into(out, members_[i].first);
+        out += "\":";
+        members_[i].second.dump_line_into(out);
+      }
+      out += '}';
+      break;
+  }
+}
+
+std::string Json::dump_line() const {
+  std::string out;
+  dump_line_into(out);
+  return out;
+}
+
 std::string BenchReport::output_dir() {
   if (const char* dir = std::getenv("CRYOSOC_BENCH_DIR");
       dir != nullptr && *dir != '\0')

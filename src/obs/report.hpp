@@ -60,11 +60,15 @@ class Json {
   Json& push_back(Json v);
 
   std::string dump(int indent = 0) const;
+  // Single-line rendering (no whitespace) for NDJSON streams; same member
+  // order and number formatting as dump().
+  std::string dump_line() const;
 
  private:
   enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject,
                     kRaw };
   void dump_into(std::string& out, int indent) const;
+  void dump_line_into(std::string& out) const;
 
   Kind kind_;
   bool bool_ = false;

@@ -1,0 +1,147 @@
+// cryosocd — the long-running corner server.
+//
+// Speaks newline-delimited `cryosoc-req-v1` JSON on stdin and writes one
+// `cryosoc-resp-v1` JSON line per request on stdout, in submission order.
+// Requests are admitted into a FlowService over one shared CryoSocFlow,
+// so concurrent identical queries coalesce, corners characterize at most
+// once ever (fingerprinted Liberty artifacts under --lib-dir), and warm
+// queries are served from the in-memory corner cache.
+//
+// Pipelining: up to --window responses may be outstanding before the
+// oldest is awaited, so independent requests overlap across workers while
+// the output order stays exactly the input order. A malformed line or an
+// admission rejection produces an ok=false response line (stages
+// "request-parse" / "admission"); the daemon itself never dies on bad
+// input. On EOF it drains, prints an obs summary to stderr, and exits 0
+// (non-zero only for usage errors).
+//
+//   echo '{"schema":"cryosoc-req-v1","kind":"timing",
+//          "corner":{"vdd":0.7,"temperature_k":10}}' | cryosocd
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <iostream>
+#include <string>
+#include <utility>
+
+#include "core/error.hpp"
+#include "core/flow.hpp"
+#include "obs/metrics.hpp"
+#include "serve/request.hpp"
+#include "serve/service.hpp"
+
+namespace {
+
+using namespace cryo;
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--lib-dir DIR] [--workers N] [--queue-capacity N]\n"
+      "          [--window N] [--no-calibrate]\n"
+      "Reads cryosoc-req-v1 JSON lines on stdin, writes cryosoc-resp-v1\n"
+      "JSON lines on stdout in submission order.\n",
+      argv0);
+  return 2;
+}
+
+serve::FlowResponse error_response(const std::string& id,
+                                   const std::string& stage,
+                                   const std::string& detail) {
+  serve::FlowResponse response;
+  response.ok = false;
+  response.error_stage = stage;
+  response.error = detail;
+  response.meta.id = id;
+  return response;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::FlowConfig flow_config;
+  serve::ServiceConfig service_config;
+  std::size_t window = 64;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--lib-dir" && has_value) {
+      flow_config.lib_dir = argv[++i];
+    } else if (arg == "--workers" && has_value) {
+      service_config.workers = std::atoi(argv[++i]);
+    } else if (arg == "--queue-capacity" && has_value) {
+      service_config.queue_capacity =
+          static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--window" && has_value) {
+      window = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--no-calibrate") {
+      flow_config.calibrate_devices = false;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (window == 0) window = 1;
+
+  core::CryoSocFlow flow(flow_config);
+  serve::FlowService service(flow, service_config);
+
+  // (original request id, pending response) in submission order.
+  std::deque<std::pair<std::string, std::shared_future<serve::FlowResponse>>>
+      pending;
+  std::uint64_t lines = 0;
+
+  const auto flush_one = [&] {
+    auto [id, future] = std::move(pending.front());
+    pending.pop_front();
+    serve::FlowResponse response = future.get();
+    // Coalesced executions carry the first submitter's id; every client
+    // still gets a response tagged with its own.
+    response.meta.id = id;
+    std::fputs(serve::to_json(response).dump_line().c_str(), stdout);
+    std::fputc('\n', stdout);
+    std::fflush(stdout);
+  };
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    ++lines;
+    if (line.empty()) continue;
+    std::string id;
+    try {
+      serve::FlowRequest request = serve::parse_request(line);
+      id = request.id;
+      pending.emplace_back(id, service.submit(std::move(request)));
+    } catch (const core::FlowError& e) {
+      std::promise<serve::FlowResponse> p;
+      p.set_value(error_response(id, e.stage(), e.detail()));
+      pending.emplace_back(id, p.get_future().share());
+    }
+    while (pending.size() >= window) flush_one();
+  }
+  while (!pending.empty()) flush_one();
+  service.shutdown();
+
+  const auto count = [](const char* name) {
+    return obs::registry().counter(name).value();
+  };
+  std::fprintf(stderr,
+               "[cryosocd] %llu line(s): %llu executed, %llu coalesced, "
+               "%llu rejected\n",
+               static_cast<unsigned long long>(lines),
+               static_cast<unsigned long long>(count("serve.executed")),
+               static_cast<unsigned long long>(count("serve.coalesced")),
+               static_cast<unsigned long long>(count("serve.rejected")));
+  for (const serve::QueryKind kind : serve::kAllQueryKinds) {
+    obs::Histogram& h = obs::registry().histogram(
+        std::string("serve.latency.") + serve::kind_name(kind));
+    if (h.count() == 0) continue;
+    std::fprintf(stderr,
+                 "[cryosocd]   %-14s n=%llu p50=%.3gs p95=%.3gs p99=%.3gs\n",
+                 serve::kind_name(kind),
+                 static_cast<unsigned long long>(h.count()), h.quantile(0.5),
+                 h.quantile(0.95), h.quantile(0.99));
+  }
+  return 0;
+}

@@ -1,0 +1,267 @@
+#include "serve/json.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
+#include "core/error.hpp"
+
+namespace cryo::serve {
+namespace {
+
+[[noreturn]] void fail(std::size_t pos, const std::string& detail) {
+  throw core::FlowError("json-parse", "",
+                        detail + " at byte " + std::to_string(pos));
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view in) : in_(in) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != in_.size()) fail(pos_, "trailing characters after document");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < in_.size() &&
+           (in_[pos_] == ' ' || in_[pos_] == '\t' || in_[pos_] == '\n' ||
+            in_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= in_.size()) fail(pos_, "unexpected end of input");
+    return in_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c)
+      fail(pos_, std::string("expected '") + c + "', got '" + peek() + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (in_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"': {
+        JsonValue v;
+        v.kind = JsonValue::Kind::kString;
+        v.text = parse_string();
+        return v;
+      }
+      case 't': {
+        if (!consume_literal("true")) fail(pos_, "bad literal");
+        JsonValue v;
+        v.kind = JsonValue::Kind::kBool;
+        v.boolean = true;
+        return v;
+      }
+      case 'f': {
+        if (!consume_literal("false")) fail(pos_, "bad literal");
+        JsonValue v;
+        v.kind = JsonValue::Kind::kBool;
+        v.boolean = false;
+        return v;
+      }
+      case 'n': {
+        if (!consume_literal("null")) fail(pos_, "bad literal");
+        return JsonValue{};
+      }
+      default:
+        return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v.members.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.items.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = peek();
+      ++pos_;
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char esc = peek();
+      ++pos_;
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > in_.size()) fail(pos_, "truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = in_[pos_ + static_cast<std::size_t>(i)];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              fail(pos_, "bad \\u escape digit");
+          }
+          pos_ += 4;
+          // UTF-8 encode the code point (BMP only; surrogate pairs are
+          // not expected in our schemas and decode as-is).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          fail(pos_ - 1, "bad escape character");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < in_.size() && in_[pos_] == '-') ++pos_;
+    while (pos_ < in_.size() &&
+           (std::isdigit(static_cast<unsigned char>(in_[pos_])) ||
+            in_[pos_] == '.' || in_[pos_] == 'e' || in_[pos_] == 'E' ||
+            in_[pos_] == '+' || in_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) fail(pos_, "expected a value");
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    v.text = std::string(in_.substr(start, pos_ - start));
+    char* end = nullptr;
+    v.number = std::strtod(v.text.c_str(), &end);
+    if (end != v.text.c_str() + v.text.size())
+      fail(start, "malformed number '" + v.text + "'");
+    return v;
+  }
+
+  std::string_view in_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : members)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+double JsonValue::as_number(std::string_view what) const {
+  if (kind != Kind::kNumber)
+    throw core::FlowError("json-parse", "",
+                          std::string(what) + ": expected a number");
+  return number;
+}
+
+std::uint64_t JsonValue::as_uint(std::string_view what) const {
+  if (kind != Kind::kNumber || text.empty() || text[0] == '-')
+    throw core::FlowError(
+        "json-parse", "",
+        std::string(what) + ": expected a non-negative integer");
+  return std::strtoull(text.c_str(), nullptr, 10);
+}
+
+bool JsonValue::as_bool(std::string_view what) const {
+  if (kind != Kind::kBool)
+    throw core::FlowError("json-parse", "",
+                          std::string(what) + ": expected a bool");
+  return boolean;
+}
+
+const std::string& JsonValue::as_string(std::string_view what) const {
+  if (kind != Kind::kString)
+    throw core::FlowError("json-parse", "",
+                          std::string(what) + ": expected a string");
+  return text;
+}
+
+const JsonValue& JsonValue::at(std::string_view key,
+                               std::string_view what) const {
+  const JsonValue* v = find(key);
+  if (!v)
+    throw core::FlowError("json-parse", "",
+                          std::string(what) + ": missing required field '" +
+                              std::string(key) + "'");
+  return *v;
+}
+
+JsonValue json_parse(std::string_view input) {
+  return Parser(input).parse_document();
+}
+
+}  // namespace cryo::serve

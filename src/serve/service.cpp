@@ -1,0 +1,233 @@
+#include "serve/service.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "core/error.hpp"
+#include "exec/exec.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sweep/sweep.hpp"
+
+namespace cryo::serve {
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+obs::Histogram& kind_latency_histogram(QueryKind kind) {
+  return obs::registry().histogram(std::string("serve.latency.") +
+                                   kind_name(kind));
+}
+
+}  // namespace
+
+// ---- execute -------------------------------------------------------------
+
+FlowResponse execute(core::CryoSocFlow& flow, const FlowRequest& request) {
+  FlowResponse response;
+  response.kind = request.kind;
+  response.corner = request.corner;
+  OBS_SPAN("serve.execute", kind_name(request.kind));
+  try {
+    switch (request.kind) {
+      case QueryKind::kTiming:
+        response.timing = flow.timing(request.corner);
+        break;
+      case QueryKind::kPower: {
+        // Same convention as the sweep: a non-positive clock means "run
+        // this workload at the corner's own fmax".
+        power::ActivityProfile profile = request.profile;
+        if (profile.clock_frequency <= 0.0)
+          profile.clock_frequency = flow.timing(request.corner).fmax;
+        response.power = flow.workload_power(request.corner, profile);
+        break;
+      }
+      case QueryKind::kMeasuredPower:
+        response.power = flow.measured_power(request.corner, request.activity);
+        break;
+      case QueryKind::kLeakage: {
+        auto lib = flow.library(request.corner);
+        double w = 0.0;
+        for (const auto& cell : lib->cells) w += cell.leakage_avg;
+        response.library_leakage_w = w;
+        break;
+      }
+      case QueryKind::kSram: {
+        const sram::SramModel model = flow.sram_model(request.corner);
+        SramResult sram;
+        sram.macro = request.macro;
+        sram.timing = model.timing(request.macro);
+        sram.power = model.power(request.macro);
+        sram.leakage_per_bit_w = model.leakage_per_bit();
+        sram.reference_gate_delay_s = model.reference_gate_delay();
+        response.sram = sram;
+        break;
+      }
+      case QueryKind::kSweep:
+        response.sweep = sweep::run_sweep(flow, request.sweep);
+        break;
+    }
+    response.ok = true;
+  } catch (const core::FlowError& e) {
+    response.ok = false;
+    response.error_stage = e.stage();
+    response.error = e.what();
+  } catch (const std::exception& e) {
+    response.ok = false;
+    response.error_stage = "analysis";
+    response.error = e.what();
+  }
+  return response;
+}
+
+// ---- FlowService ---------------------------------------------------------
+
+struct FlowService::Job {
+  FlowRequest request;
+  std::uint64_t fingerprint = 0;
+  double admitted_at = 0.0;
+  std::uint64_t joiners = 0;  // guarded by State::mutex
+  std::promise<FlowResponse> promise;
+  std::shared_future<FlowResponse> future;
+};
+
+struct FlowService::State {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<std::shared_ptr<Job>> queue;
+  // fingerprint -> admitted-but-unpublished job; joiners attach here.
+  std::unordered_map<std::uint64_t, std::shared_ptr<Job>> inflight;
+  bool stopping = false;
+  std::uint64_t sequence = 0;
+};
+
+FlowService::FlowService(core::CryoSocFlow& flow, ServiceConfig config)
+    : flow_(flow), config_(std::move(config)),
+      state_(std::make_unique<State>()) {
+  if (config_.queue_capacity == 0)
+    throw core::FlowError("config", "",
+                          "ServiceConfig.queue_capacity must be >= 1");
+  const int n = config_.workers > 0
+                    ? config_.workers
+                    : static_cast<int>(exec::thread_count(0));
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+FlowService::~FlowService() { shutdown(); }
+
+std::shared_future<FlowResponse> FlowService::submit(FlowRequest request) {
+  static obs::Counter& requests = obs::registry().counter("serve.requests");
+  static obs::Counter& coalesced = obs::registry().counter("serve.coalesced");
+  static obs::Counter& rejected = obs::registry().counter("serve.rejected");
+  static obs::Gauge& depth = obs::registry().gauge("serve.queue_depth");
+
+  const std::uint64_t fingerprint = request_fingerprint(request);
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  requests.add(1);
+  if (state_->stopping) {
+    rejected.add(1);
+    throw core::FlowError("admission", "", "service is shut down");
+  }
+  if (auto it = state_->inflight.find(fingerprint);
+      it != state_->inflight.end()) {
+    ++it->second->joiners;
+    coalesced.add(1);
+    return it->second->future;
+  }
+  if (state_->queue.size() >= config_.queue_capacity) {
+    rejected.add(1);
+    throw core::FlowError(
+        "admission", "",
+        "queue full (" + std::to_string(config_.queue_capacity) +
+            " requests); retry later");
+  }
+  auto job = std::make_shared<Job>();
+  job->request = std::move(request);
+  job->fingerprint = fingerprint;
+  job->admitted_at = now_seconds();
+  job->future = job->promise.get_future().share();
+  state_->inflight.emplace(fingerprint, job);
+  state_->queue.push_back(job);
+  depth.set(static_cast<double>(state_->queue.size()));
+  state_->cv.notify_one();
+  return job->future;
+}
+
+FlowResponse FlowService::call(FlowRequest request) {
+  return submit(std::move(request)).get();
+}
+
+void FlowService::worker_loop() {
+  static obs::Counter& executed = obs::registry().counter("serve.executed");
+  static obs::Gauge& depth = obs::registry().gauge("serve.queue_depth");
+  static obs::Histogram& queue_seconds =
+      obs::registry().histogram("serve.queue_seconds");
+
+  while (true) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(state_->mutex);
+      state_->cv.wait(lock, [&] {
+        return state_->stopping || !state_->queue.empty();
+      });
+      if (state_->queue.empty()) return;  // stopping and drained
+      job = std::move(state_->queue.front());
+      state_->queue.pop_front();
+      depth.set(static_cast<double>(state_->queue.size()));
+    }
+
+    if (config_.before_execute) config_.before_execute(job->request);
+
+    const double start = now_seconds();
+    FlowResponse response = execute(flow_, job->request);
+    const double service_s = now_seconds() - start;
+
+    obs::Histogram& latency = kind_latency_histogram(job->request.kind);
+    latency.observe(service_s);
+    queue_seconds.observe(start - job->admitted_at);
+    executed.add(1);
+
+    response.meta.id = job->request.id;
+    response.meta.queue_seconds = start - job->admitted_at;
+    response.meta.service_seconds = service_s;
+    response.meta.kind_latency.count = latency.count();
+    response.meta.kind_latency.p50_s = latency.quantile(0.50);
+    response.meta.kind_latency.p95_s = latency.quantile(0.95);
+    response.meta.kind_latency.p99_s = latency.quantile(0.99);
+    {
+      // Unlink before publishing: a submit() after this point must start
+      // a fresh execution (it will hit the warm caches), and the joiner
+      // count is final once no one can attach.
+      std::lock_guard<std::mutex> lock(state_->mutex);
+      state_->inflight.erase(job->fingerprint);
+      response.meta.coalesced = job->joiners;
+      response.meta.sequence = ++state_->sequence;
+    }
+    job->promise.set_value(std::move(response));
+  }
+}
+
+void FlowService::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    if (state_->stopping && workers_.empty()) return;
+    state_->stopping = true;
+  }
+  state_->cv.notify_all();
+  for (std::thread& w : workers_)
+    if (w.joinable()) w.join();
+  workers_.clear();
+}
+
+}  // namespace cryo::serve

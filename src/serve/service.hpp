@@ -1,0 +1,100 @@
+// serve::execute + FlowService — the flow behind the request API.
+//
+// execute() answers one FlowRequest synchronously against a CryoSocFlow:
+// it is the single dispatch point from the typed request union onto the
+// corner-keyed flow surface (timing / workload_power / measured_power /
+// library leakage / sram_model / sweep::run_sweep). It never throws for
+// analysis failures — a core::FlowError or analysis throw becomes an
+// ok=false response carrying the error stage and detail — so a response
+// exists for every request. Identical requests produce byte-identical
+// response payloads (response_payload_json) at any thread count.
+//
+// FlowService is the long-running form: a bounded queue of requests
+// multiplexed over worker threads onto one shared flow (whose corner
+// cache, artifact store, and engine cache are already thread-safe).
+//
+//   * Coalescing: N concurrent submissions of the same query (equal
+//     request_fingerprint) share one execution — joiners attach to the
+//     in-flight job's future and are counted in serve.coalesced. The
+//     in-flight entry is unlinked before the response is published, so a
+//     request arriving after completion executes (and hits the caches).
+//   * Backpressure: submissions beyond queue_capacity are rejected
+//     synchronously with core::FlowError{stage="admission"} and counted
+//     in serve.rejected; nothing is silently dropped or unbounded.
+//   * Observability: serve.requests / serve.executed / serve.coalesced /
+//     serve.rejected counters, the serve.queue_depth gauge, the
+//     serve.queue_seconds histogram, and one serve.latency.<kind>
+//     histogram per request kind. Each response's meta carries its queue
+//     and service wall clocks plus the service-lifetime p50/p95/p99 of
+//     its kind, read from that histogram.
+//
+// Shutdown drains: workers finish every admitted job before joining, so
+// every future obtained from submit() becomes ready.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/flow.hpp"
+#include "serve/request.hpp"
+
+namespace cryo::serve {
+
+// Answers one request synchronously. Never throws for per-query failures
+// (ok=false responses instead); only programmer errors (e.g. an empty
+// sweep grid) propagate.
+FlowResponse execute(core::CryoSocFlow& flow, const FlowRequest& request);
+
+struct ServiceConfig {
+  // Bound on admitted-but-unfinished jobs; submissions beyond it are
+  // rejected with FlowError{stage="admission"}. Coalesced joiners ride an
+  // existing job and never consume capacity.
+  std::size_t queue_capacity = 256;
+  // Worker threads: > 0 explicit, 0 = exec::thread_count() (the
+  // CRYOSOC_THREADS / hardware default).
+  int workers = 0;
+  // Test hook: runs on the worker immediately before each execution
+  // (e.g. block here to hold the queue full and exercise backpressure).
+  std::function<void(const FlowRequest&)> before_execute;
+};
+
+class FlowService {
+ public:
+  explicit FlowService(core::CryoSocFlow& flow, ServiceConfig config = {});
+  ~FlowService();
+
+  FlowService(const FlowService&) = delete;
+  FlowService& operator=(const FlowService&) = delete;
+
+  // Admits the request (or joins an identical in-flight one) and returns
+  // a future for its response. Throws core::FlowError{stage="admission"}
+  // when the queue is full or the service is shut down.
+  std::shared_future<FlowResponse> submit(FlowRequest request);
+
+  // submit() + wait: the blocking convenience call.
+  FlowResponse call(FlowRequest request);
+
+  // Drains the queue and joins the workers. Idempotent; the destructor
+  // calls it.
+  void shutdown();
+
+  std::size_t worker_count() const { return workers_.size(); }
+
+ private:
+  struct Job;
+  struct State;
+
+  void worker_loop();
+
+  core::CryoSocFlow& flow_;
+  ServiceConfig config_;
+  std::unique_ptr<State> state_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace cryo::serve

@@ -10,6 +10,12 @@
 // characterizes every corner exactly once ever — in parallel on a cold
 // store, from disk afterwards.
 //
+// The request/result types are defined by the public serve API
+// (serve/request.hpp): SweepRequest, CornerResult and SweepReport are thin
+// aliases over serve::SweepQuery / SweepCornerResult / SweepOutcome, so a
+// sweep built here is the same object a serve::FlowRequest{kSweep}
+// carries over the wire.
+//
 // Failure isolation: a corner that fails (core::FlowError from artifact
 // resolution, a quarantined characterization, an analysis throw) is
 // recorded as a per-corner error in the SweepReport; sibling corners are
@@ -27,80 +33,15 @@
 // whole report as one `cryosoc-sweep-v1` document for obs::BenchReport.
 #pragma once
 
-#include <cstddef>
-#include <optional>
-#include <string>
-#include <utility>
-#include <vector>
-
-#include "common/units.hpp"
-#include "core/corner.hpp"
 #include "core/flow.hpp"
 #include "obs/report.hpp"
-#include "power/power.hpp"
-#include "sta/sta.hpp"
+#include "serve/request.hpp"
 
 namespace cryo::sweep {
 
-struct SweepRequest {
-  std::vector<core::Corner> corners;
-
-  // Which analyses to run per corner.
-  bool run_timing = true;
-  bool run_power = false;
-  bool run_leakage = false;      // sum of library cell leakage
-  bool run_feasibility = false;  // cooling budget + decoherence deadline
-
-  // Activity profile for the power analysis. When clock_frequency <= 0 it
-  // is replaced per corner by that corner's fmax (requires run_timing).
-  power::ActivityProfile profile;
-
-  // Feasibility inputs (paper Sec. VI): total power must fit the cooling
-  // budget; a batch of `qubits` classifications at cycles_per_classification
-  // must finish inside the decoherence deadline (0 disables the check).
-  double cooling_budget_w = kCoolingBudget10K;
-  double deadline_s = kFalconDecoherenceTime;
-  double cycles_per_classification = 0.0;
-  int qubits = 0;
-
-  // Worker threads: > 0 explicit, 0 = CRYOSOC_THREADS / hardware.
-  int threads = 0;
-};
-
-struct CornerResult {
-  core::Corner corner;
-  bool ok = false;
-  // Failure account (empty when ok): the stage mirrors
-  // core::FlowError::stage(), plus "quarantine" for degraded
-  // characterizations and "analysis" for non-flow throws.
-  std::string error;
-  std::string error_stage;
-
-  std::optional<sta::TimingReport> timing;
-  std::optional<power::PowerReport> power;
-  double library_leakage_w = 0.0;  // when run_leakage
-
-  // Feasibility verdicts (when run_feasibility and the inputs exist).
-  std::optional<bool> fits_cooling_budget;
-  std::optional<bool> meets_deadline;
-
-  double seconds = 0.0;  // wall clock of this corner's analyses
-};
-
-struct SweepReport {
-  std::vector<CornerResult> corners;  // same order as the request
-  std::size_t failed = 0;
-
-  // Derived cross-corner scalars (over successful corners only).
-  // Index of the worst corner by fmax (slowest timing), if any ran.
-  std::optional<std::size_t> worst_corner;
-  // (temperature, min fmax at that temperature), ascending temperature.
-  std::vector<std::pair<double, double>> fmax_vs_temperature;
-  // Highest temperature at which total power still fits the cooling
-  // budget (linear interpolation between bracketing corners); set when
-  // power ran on >= 2 corners and a crossover exists.
-  std::optional<double> cooling_crossover_k;
-};
+using SweepRequest = serve::SweepQuery;
+using CornerResult = serve::SweepCornerResult;
+using SweepReport = serve::SweepOutcome;
 
 // Runs every corner of the request through `flow`, fanning out over the
 // exec scheduler. Shared lazy state (devices, the synthesized SoC) is

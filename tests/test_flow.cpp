@@ -124,28 +124,50 @@ TEST(Flow, ActivityProfileSane) {
   EXPECT_GT(profile.sram_reads_per_cycle.at("l1i_tags"), 0.0);
 }
 
-// The scalar-temperature overloads are deprecated but must keep their
-// historical behavior: any T snaps to the 300 K / 10 K corner (except
-// sram_model, which never snapped) and the returned reference aliases the
-// corner cache's entry, staying valid for the flow's lifetime.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(Flow, DeprecatedScalarShimsSnapToCanonicalCorners) {
-  const auto lib300 = flow().library(flow().corner(300.0));
-  const charlib::Library& shim = flow().library(273.0);  // snaps to 300 K
-  EXPECT_EQ(&shim, lib300.get());
-
-  const auto t10 = flow().timing(flow().corner(10.0));
-  const auto t_shim = flow().timing(77.0);  // snaps to 10 K
-  EXPECT_DOUBLE_EQ(t_shim.critical_delay, t10.critical_delay);
-  EXPECT_DOUBLE_EQ(t_shim.fmax, t10.fmax);
-
-  // sram_model keeps the exact temperature.
+TEST(Flow, DerivedCornerNamesKeepExactTemperature) {
+  // corner(T) derives a label from the exact temperature — nothing snaps
+  // (the old scalar-temperature shims that snapped to 300 K / 10 K are
+  // gone; every call sites a Corner now).
   Corner c77 = flow().corner(77.0);
   EXPECT_DOUBLE_EQ(c77.temperature, 77.0);
   EXPECT_EQ(c77.label(), "77k");
+  EXPECT_DOUBLE_EQ(flow().sram_model(c77).temperature(), 77.0);
 }
-#pragma GCC diagnostic pop
+
+TEST(Flow, ConfigValidationRejectsZeroCacheCapacity) {
+  FlowConfig config;
+  config.corner_cache_capacity = 0;
+  try {
+    CryoSocFlow f(config);
+    FAIL() << "expected FlowError{config}";
+  } catch (const FlowError& e) {
+    EXPECT_EQ(e.stage(), "config");
+    EXPECT_NE(std::string(e.what()).find("corner_cache_capacity"),
+              std::string::npos);
+  }
+}
+
+TEST(Flow, ConfigValidationRejectsNegativeCharacterizeThreads) {
+  FlowConfig config;
+  config.characterize_threads = -1;
+  try {
+    CryoSocFlow f(config);
+    FAIL() << "expected FlowError{config}";
+  } catch (const FlowError& e) {
+    EXPECT_EQ(e.stage(), "config");
+    EXPECT_NE(std::string(e.what()).find("characterize_threads"),
+              std::string::npos);
+  }
+}
+
+TEST(Flow, ConfigValidationAcceptsDefaults) {
+  // The defaults (capacity 8, threads 0) and explicit valid values pass.
+  FlowConfig config;
+  config.corner_cache_capacity = 1;
+  config.characterize_threads = 2;
+  config.calibrate_devices = false;
+  EXPECT_NO_THROW(CryoSocFlow{config});
+}
 
 TEST(Flow, DefaultLibDirFindsArtifacts) {
   // In-tree test runs should locate lib/ via the marker file.

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -208,6 +209,55 @@ TEST(ObsMetrics, HistogramBucketBoundaries) {
   EXPECT_EQ(h.bucket(3), 1u);
   EXPECT_EQ(h.count(), 6u);
   EXPECT_NEAR(h.sum(), 0.5 + 1.0 + 5.0 + 10.0 + 99.0 + 1000.0, 1e-9);
+}
+
+TEST(ObsMetrics, HistogramQuantileInterpolatesExactly) {
+  // The quantile estimator is deterministic: walk the cumulative buckets
+  // to the target rank q*n, interpolate linearly inside the bucket
+  // (bucket 0 spans [0, bounds[0]]), clamp to the tracked max.
+  obs::Histogram& h =
+      obs::registry().histogram("test.hist_quantile", {10.0});
+  h.reset();
+  for (const double v : {1.0, 2.0, 3.0, 4.0}) h.observe(v);
+  EXPECT_DOUBLE_EQ(h.max_value(), 4.0);
+
+  // n=4, all in bucket 0 = [0, 10]: target rank 1 -> frac 0.25 -> 2.5.
+  EXPECT_DOUBLE_EQ(h.quantile(0.25), 2.5);
+  // Rank 2 -> frac 0.5 -> 5.0, clamped to the exact max 4.0.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 4.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 4.0);
+}
+
+TEST(ObsMetrics, HistogramQuantileWalksBucketsAndStaysFinite) {
+  obs::Histogram& h =
+      obs::registry().histogram("test.hist_quantile_walk", {1.0, 10.0, 100.0});
+  h.reset();
+  h.observe(0.5);  // bucket 0
+  for (const double v : {5.0, 6.0, 7.0}) h.observe(v);  // bucket 1
+  h.observe(50.0);    // bucket 2
+  h.observe(1000.0);  // overflow
+
+  // n=6; p50 target rank 3: bucket 0 holds 1, bucket 1 reaches 4 >= 3,
+  // so interpolate in [1, 10] at frac (3-1)/3 -> exactly 7.0.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 7.0);
+  // p95/p99 target ranks live in the overflow bucket: the estimator
+  // reports the exact tracked max — finite even for unbounded tails.
+  EXPECT_DOUBLE_EQ(h.quantile(0.95), 1000.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 1000.0);
+  EXPECT_TRUE(std::isfinite(h.quantile(0.99)));
+}
+
+TEST(ObsMetrics, HistogramQuantileEmptyAndReset) {
+  obs::Histogram& h =
+      obs::registry().histogram("test.hist_quantile_reset", {1.0});
+  h.reset();
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.max_value(), 0.0);
+  h.observe(0.25);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 0.25);
+  h.reset();
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 0.0);
+  EXPECT_DOUBLE_EQ(h.max_value(), 0.0);
 }
 
 TEST(ObsMetrics, SnapshotJsonIsValidAndContainsInstruments) {
