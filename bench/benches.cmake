@@ -34,6 +34,11 @@ target_link_libraries(sweep_corners PRIVATE cryo_sweep)
 set_target_properties(sweep_corners PROPERTIES
   RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
 
+add_executable(interp_accuracy bench/interp_accuracy.cpp)
+target_link_libraries(interp_accuracy PRIVATE cryo_core)
+set_target_properties(interp_accuracy PROPERTIES
+  RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+
 add_executable(serve_load bench/serve_load.cpp)
 target_link_libraries(serve_load PRIVATE cryo_serve)
 set_target_properties(serve_load PROPERTIES

@@ -347,5 +347,83 @@ int main() {
                 request.corners.size());
     ++failures;
   }
+
+  // ---- phase E: dense fmax-vs-T curve on interpolated libraries ---------
+  // The continuous-temperature mode (ROADMAP item 5): 20 temperatures
+  // across the 10..300 K span, served by piecewise-linear interpolation
+  // between 4 characterized anchors. The whole curve must cost ZERO
+  // characterizations beyond the anchors (gated here and in CI).
+  {
+    const std::vector<double> anchor_temps = {10.0, 77.0, 150.0, 300.0};
+    core::FlowConfig iconfig;
+    iconfig.calibrate_devices = false;
+    iconfig.interp_anchor_temps = anchor_temps;
+    iconfig.corner_cache_capacity = 32;
+    if (quick) {
+      iconfig.catalog.only_bases = {"INV", "NAND2"};
+      iconfig.catalog.drives = {1};
+      iconfig.catalog.extra_drives_common = {};
+      iconfig.catalog.include_slvt = false;
+      iconfig.lib_dir = obs::BenchReport::output_dir() + "/sweep-lib-interp";
+    }
+    core::CryoSocFlow iflow(iconfig);
+
+    auto& runs = obs::registry().counter("charlib.runs");
+    const auto runs_start = runs.value();
+    for (double t : anchor_temps) (void)iflow.library(iflow.corner(t));
+    const auto anchor_runs = runs.value() - runs_start;
+    if (!quick) (void)iflow.soc();
+
+    const std::size_t points = 20;
+    sweep::SweepRequest dense;
+    for (std::size_t i = 0; i < points; ++i)
+      dense.corners.push_back(iflow.corner(
+          10.0 + (300.0 - 10.0) * double(i) / double(points - 1)));
+    dense.run_timing = !quick;
+    dense.run_leakage = quick;
+    dense.threads = threads;
+
+    const auto runs_before = runs.value();
+    const auto te = std::chrono::steady_clock::now();
+    const auto curve = sweep::run_sweep(iflow, dense);
+    const double interp_seconds = seconds_since(te);
+    const auto extra_runs = runs.value() - runs_before;
+
+    std::printf(
+        "\nphase E (interpolated %zu-point T-curve, %zu anchors): %.2f s, "
+        "%llu anchor characterizations, %llu beyond the anchors\n",
+        points, anchor_temps.size(), interp_seconds,
+        static_cast<unsigned long long>(anchor_runs),
+        static_cast<unsigned long long>(extra_runs));
+    if (!quick) {
+      for (const auto& [t, f] : curve.fmax_vs_temperature)
+        std::printf("  %6.1f K -> %7.1f MHz\n", t, f / 1e6);
+    }
+
+    report.results()["interp_points"] = points;
+    report.results()["interp_anchor_count"] = anchor_temps.size();
+    report.results()["interp_anchor_charlib_runs"] = anchor_runs;
+    report.results()["interp_extra_charlib_runs"] = extra_runs;
+    report.results()["interp_seconds"] = interp_seconds;
+    report.results()["interp_failed"] = curve.failed;
+
+    if (curve.failed != 0) {
+      std::printf("FAIL: interpolated sweep reported %zu corner error(s)\n",
+                  curve.failed);
+      ++failures;
+    }
+    if (anchor_runs > anchor_temps.size()) {
+      std::printf("FAIL: anchors characterized %llu times (expected <= %zu)\n",
+                  static_cast<unsigned long long>(anchor_runs),
+                  anchor_temps.size());
+      ++failures;
+    }
+    if (extra_runs != 0) {
+      std::printf("FAIL: dense T-grid characterized %llu librar(ies) beyond "
+                  "the anchors\n",
+                  static_cast<unsigned long long>(extra_runs));
+      ++failures;
+    }
+  }
   return failures == 0 ? 0 : 1;
 }

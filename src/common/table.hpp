@@ -60,12 +60,16 @@ class Table2D {
   }
 
   // Minimum / maximum stored value; handy for library-wide statistics.
+  // Like lookup(), a default-constructed table has no values to report,
+  // so both throw instead of reading past an empty vector.
   double min_value() const {
+    if (empty()) throw std::logic_error("Table2D::min_value on empty table");
     double m = values_.front();
     for (double v : values_) m = v < m ? v : m;
     return m;
   }
   double max_value() const {
+    if (empty()) throw std::logic_error("Table2D::max_value on empty table");
     double m = values_.front();
     for (double v : values_) m = v > m ? v : m;
     return m;

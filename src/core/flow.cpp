@@ -7,6 +7,7 @@
 
 #include "core/artifacts.hpp"
 #include "exec/exec.hpp"
+#include "liberty/interp.hpp"
 #include "liberty/liberty.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -40,6 +41,24 @@ FlowConfig validate_config(FlowConfig config) {
     throw FlowError("config", "",
                     "FlowConfig.characterize_threads must be >= 0 (got " +
                         std::to_string(config.characterize_threads) + ")");
+  if (!config.interp_anchor_temps.empty()) {
+    const auto& temps = config.interp_anchor_temps;
+    if (temps.size() < 2)
+      throw FlowError("config", "",
+                      "FlowConfig.interp_anchor_temps needs >= 2 anchors "
+                      "(got " +
+                          std::to_string(temps.size()) + ")");
+    for (std::size_t i = 1; i < temps.size(); ++i)
+      if (temps[i] <= temps[i - 1] ||
+          temperature_close(temps[i], temps[i - 1]))
+        throw FlowError(
+            "config", "",
+            "FlowConfig.interp_anchor_temps must be strictly ascending "
+            "(anchor " +
+                std::to_string(i) + " at " +
+                corner_detail::shortest(temps[i]) + " K follows " +
+                corner_detail::shortest(temps[i - 1]) + " K)");
+  }
   return config;
 }
 
@@ -121,6 +140,16 @@ std::string CryoSocFlow::corner_slug(const Corner& corner) const {
 
 std::shared_ptr<CornerState> CryoSocFlow::build_corner_state(
     const Corner& corner) {
+  if (!config_.interp_anchor_temps.empty()) {
+    // Only exact anchor temperatures take the characterize/artifact path;
+    // everything else (including round-trip-noise neighbors of an anchor)
+    // is synthesized, so a dense T-grid costs zero extra
+    // characterizations.
+    bool exact_anchor = false;
+    for (double t : config_.interp_anchor_temps)
+      exact_anchor = exact_anchor || corner.temperature == t;
+    if (!exact_anchor) return build_interpolated_state(corner);
+  }
   const std::string name = "cryo5_" + corner_slug(corner);
   const fs::path path = fs::path(config_.lib_dir) / (name + ".lib");
 
@@ -191,6 +220,25 @@ std::shared_ptr<CornerState> CryoSocFlow::build_corner_state(
     } catch (const std::exception&) {
       // Cache write failure is non-fatal (read-only checkout).
     }
+  }
+  sram::SramModel sram(*nmos_, *pmos_, corner.temperature, corner.vdd);
+  return std::make_shared<CornerState>(corner, std::move(lib),
+                                       std::move(sram));
+}
+
+std::shared_ptr<CornerState> CryoSocFlow::build_interpolated_state(
+    const Corner& corner) {
+  OBS_SPAN("flow.corner_interp", corner.label());
+  std::vector<std::shared_ptr<const charlib::Library>> anchors;
+  anchors.reserve(config_.interp_anchor_temps.size());
+  for (double t : config_.interp_anchor_temps)
+    anchors.push_back(library(Corner{corner.vdd, t, ""}));
+  charlib::Library lib;
+  try {
+    liberty::InterpLibrary interp(std::move(anchors));
+    lib = interp.at(corner.temperature, "cryo5_" + corner_slug(corner));
+  } catch (const FlowError& e) {
+    throw FlowError::at_corner(e, corner, e.stage());
   }
   sram::SramModel sram(*nmos_, *pmos_, corner.temperature, corner.vdd);
   return std::make_shared<CornerState>(corner, std::move(lib),

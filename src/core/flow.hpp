@@ -59,6 +59,17 @@ struct FlowConfig {
   // cell to exercise quarantine). The definitions are hashed into the
   // artifact key, so overridden runs never collide with catalog runs.
   std::optional<std::vector<cells::CellDef>> cells_override;
+  // Anchored-interpolation mode (ROADMAP item 5): when non-empty, the
+  // listed temperatures (>= 2, strictly ascending; validated at
+  // construction) are the only corners that ever characterize. A corner
+  // at any other temperature is served by piecewise-linear interpolation
+  // between the bracketing anchor libraries (liberty::InterpLibrary) at
+  // the corner's own vdd; temperatures outside the anchor span clamp to
+  // the nearest anchor (obs `interp.extrapolations`). Anchors resolve
+  // through the normal artifact path, so committed artifacts stay
+  // byte-identical, and interpolated libraries are never written back —
+  // interpolation is a read-side layer only.
+  std::vector<double> interp_anchor_temps;
   // Bound on the per-corner state cache (library + SRAM model + STA
   // engine per resident corner). Sweeps over grids larger than this
   // evict least-recently-used corners; evicted corners reload from the
@@ -154,6 +165,11 @@ class CryoSocFlow {
   std::string corner_slug(const Corner& corner) const;
   // Load-or-characterize the corner's library and assemble its state.
   std::shared_ptr<CornerState> build_corner_state(const Corner& corner);
+  // Anchored-interpolation path: resolve the anchor libraries through the
+  // corner cache (nested get_or_build on distinct corners is safe — the
+  // cache skips mid-build slots on eviction) and synthesize the corner's
+  // library instead of characterizing it.
+  std::shared_ptr<CornerState> build_interpolated_state(const Corner& corner);
   // Non-const state access for the lazy engine.
   std::shared_ptr<CornerState> corner_state_mutable(const Corner& corner);
   // The corner's cached STA engine, built on first use.

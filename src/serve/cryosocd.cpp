@@ -22,6 +22,7 @@
 #include <cstring>
 #include <deque>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <utility>
 
@@ -39,9 +40,12 @@ int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--lib-dir DIR] [--workers N] [--queue-capacity N]\n"
-      "          [--window N] [--no-calibrate]\n"
+      "          [--window N] [--no-calibrate] [--interp-anchors T1,T2,...]\n"
       "Reads cryosoc-req-v1 JSON lines on stdin, writes cryosoc-resp-v1\n"
-      "JSON lines on stdout in submission order.\n",
+      "JSON lines on stdout in submission order.\n"
+      "--interp-anchors: ascending temperatures (K). Only these corners\n"
+      "characterize; every other requested temperature is served by a\n"
+      "library interpolated between the bracketing anchors.\n",
       argv0);
   return 2;
 }
@@ -78,14 +82,34 @@ int main(int argc, char** argv) {
       window = static_cast<std::size_t>(std::atoll(argv[++i]));
     } else if (arg == "--no-calibrate") {
       flow_config.calibrate_devices = false;
+    } else if (arg == "--interp-anchors" && has_value) {
+      // Comma-separated ascending anchor temperatures in kelvin; validated
+      // (>= 2 anchors, strictly ascending) by CryoSocFlow's config check.
+      const char* cursor = argv[++i];
+      while (*cursor != '\0') {
+        char* end = nullptr;
+        const double t = std::strtod(cursor, &end);
+        if (end == cursor) return usage(argv[0]);
+        flow_config.interp_anchor_temps.push_back(t);
+        cursor = (*end == ',') ? end + 1 : end;
+        if (*end != '\0' && *end != ',') return usage(argv[0]);
+      }
+      if (flow_config.interp_anchor_temps.empty()) return usage(argv[0]);
     } else {
       return usage(argv[0]);
     }
   }
   if (window == 0) window = 1;
 
-  core::CryoSocFlow flow(flow_config);
-  serve::FlowService service(flow, service_config);
+  std::unique_ptr<core::CryoSocFlow> flow;
+  try {
+    flow = std::make_unique<core::CryoSocFlow>(flow_config);
+  } catch (const core::FlowError& e) {
+    std::fprintf(stderr, "%s: [%s] %s\n", argv[0], e.stage().c_str(),
+                 e.detail().c_str());
+    return 2;
+  }
+  serve::FlowService service(*flow, service_config);
 
   // (original request id, pending response) in submission order.
   std::deque<std::pair<std::string, std::shared_future<serve::FlowResponse>>>

@@ -346,6 +346,7 @@ obs::Json sweep_outcome_to_json(const SweepOutcome& outcome) {
   j["fmax_vs_temperature"] = std::move(curve);
   if (outcome.cooling_crossover_k)
     j["cooling_crossover_k"] = jnum(*outcome.cooling_crossover_k);
+  j["cooling_verdict"] = cooling_verdict_name(outcome.cooling_verdict);
   return j;
 }
 
@@ -381,6 +382,19 @@ SweepOutcome sweep_outcome_from_json(const JsonValue& v) {
   }
   if (const JsonValue* x = v.find("cooling_crossover_k"))
     outcome.cooling_crossover_k = x->as_number("sweep.cooling_crossover_k");
+  if (const JsonValue* verdict = v.find("cooling_verdict")) {
+    const auto parsed =
+        cooling_verdict_from_name(verdict->as_string("sweep.cooling_verdict"));
+    if (!parsed)
+      throw core::FlowError("request-parse", "",
+                            "sweep.cooling_verdict: unknown verdict \"" +
+                                verdict->as_string("sweep.cooling_verdict") +
+                                "\"");
+    outcome.cooling_verdict = *parsed;
+  } else if (outcome.cooling_crossover_k) {
+    // Pre-verdict documents: a recorded crossover implies one.
+    outcome.cooling_verdict = CoolingVerdict::kCrossover;
+  }
   return outcome;
 }
 
@@ -403,6 +417,28 @@ const char* kind_name(QueryKind kind) {
 std::optional<QueryKind> kind_from_name(const std::string& name) {
   for (const QueryKind kind : kAllQueryKinds)
     if (name == kind_name(kind)) return kind;
+  return std::nullopt;
+}
+
+const char* cooling_verdict_name(CoolingVerdict verdict) {
+  switch (verdict) {
+    case CoolingVerdict::kNotEvaluated: return "not_evaluated";
+    case CoolingVerdict::kCrossover: return "crossover";
+    case CoolingVerdict::kFitsEverywhere: return "fits_everywhere";
+    case CoolingVerdict::kInfeasibleEverywhere:
+      return "infeasible_everywhere";
+    case CoolingVerdict::kNonMonotonic: return "non_monotonic";
+  }
+  return "not_evaluated";
+}
+
+std::optional<CoolingVerdict> cooling_verdict_from_name(
+    const std::string& name) {
+  for (const CoolingVerdict v :
+       {CoolingVerdict::kNotEvaluated, CoolingVerdict::kCrossover,
+        CoolingVerdict::kFitsEverywhere, CoolingVerdict::kInfeasibleEverywhere,
+        CoolingVerdict::kNonMonotonic})
+    if (name == cooling_verdict_name(v)) return v;
   return std::nullopt;
 }
 

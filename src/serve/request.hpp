@@ -115,6 +115,24 @@ struct SweepCornerResult {
   double seconds = 0.0;  // wall clock of this corner's analyses
 };
 
+// Cooling-budget feasibility over the power-vs-temperature series. The
+// crossover temperature alone could not distinguish "no crossover
+// because every corner fits the budget" from "no crossover because even
+// the coldest corner exceeds it" — both left one unset optional.
+enum class CoolingVerdict {
+  kNotEvaluated,          // no corner produced a power result
+  kCrossover,             // budget crossed; cooling_crossover_k is set
+  kFitsEverywhere,        // every temperature fits the budget
+  kInfeasibleEverywhere,  // every temperature exceeds the budget
+  kNonMonotonic,  // mixed feasibility but no fits->exceeds bracketing
+};
+
+// Stable wire names ("not_evaluated", "crossover", "fits_everywhere",
+// "infeasible_everywhere", "non_monotonic").
+const char* cooling_verdict_name(CoolingVerdict verdict);
+std::optional<CoolingVerdict> cooling_verdict_from_name(
+    const std::string& name);
+
 // A whole sweep's outcome; sweep::SweepReport aliases this.
 struct SweepOutcome {
   std::vector<SweepCornerResult> corners;  // same order as the request
@@ -126,9 +144,11 @@ struct SweepOutcome {
   // (temperature, min fmax at that temperature), ascending temperature.
   std::vector<std::pair<double, double>> fmax_vs_temperature;
   // Highest temperature at which total power still fits the cooling
-  // budget (linear interpolation between bracketing corners); set when
-  // power ran on >= 2 corners and a crossover exists.
+  // budget (linear interpolation between bracketing corners); set iff
+  // cooling_verdict == kCrossover.
   std::optional<double> cooling_crossover_k;
+  // Why cooling_crossover_k is (or is not) set.
+  CoolingVerdict cooling_verdict = CoolingVerdict::kNotEvaluated;
 };
 
 // ---- FlowRequest ---------------------------------------------------------

@@ -78,11 +78,15 @@ void derive_cross_corner(SweepReport& report, double cooling_budget_w) {
   }
 
   // fmax-vs-temperature curve: min fmax per temperature, ascending T.
+  // Grouping uses temperature_close, not exact ==: a corner that
+  // round-tripped through a %.6g text form (Liberty nom_temperature, a
+  // serve client) differs from its in-memory twin by wire-format noise
+  // and must not fork its own grid point.
   std::vector<std::pair<double, double>> curve;
   for (const CornerResult& r : report.corners) {
     if (!r.ok || !r.timing) continue;
     auto it = std::find_if(curve.begin(), curve.end(), [&](const auto& p) {
-      return p.first == r.corner.temperature;
+      return core::temperature_close(p.first, r.corner.temperature);
     });
     if (it == curve.end())
       curve.emplace_back(r.corner.temperature, r.timing->fmax);
@@ -99,7 +103,7 @@ void derive_cross_corner(SweepReport& report, double cooling_budget_w) {
   for (const CornerResult& r : report.corners) {
     if (!r.ok || !r.power) continue;
     auto it = std::find_if(pw.begin(), pw.end(), [&](const auto& p) {
-      return p.first == r.corner.temperature;
+      return core::temperature_close(p.first, r.corner.temperature);
     });
     if (it == pw.end())
       pw.emplace_back(r.corner.temperature, r.power->total());
@@ -115,6 +119,24 @@ void derive_cross_corner(SweepReport& report, double cooling_budget_w) {
       report.cooling_crossover_k = t0 + frac * (t1 - t0);
       break;
     }
+  }
+
+  // Verdict: say WHY there is (or is not) a crossover. Silence used to
+  // mean both "everything fits" and "even the coldest corner exceeds the
+  // budget" — opposite feasibility conclusions behind one unset optional.
+  if (report.cooling_crossover_k) {
+    report.cooling_verdict = serve::CoolingVerdict::kCrossover;
+  } else if (pw.empty()) {
+    report.cooling_verdict = serve::CoolingVerdict::kNotEvaluated;
+  } else {
+    bool all_fit = true, all_exceed = true;
+    for (const auto& [t, p] : pw) {
+      (p <= cooling_budget_w ? all_exceed : all_fit) = false;
+    }
+    report.cooling_verdict =
+        all_fit     ? serve::CoolingVerdict::kFitsEverywhere
+        : all_exceed ? serve::CoolingVerdict::kInfeasibleEverywhere
+                     : serve::CoolingVerdict::kNonMonotonic;
   }
 }
 
@@ -235,6 +257,7 @@ obs::Json to_json(const SweepReport& report) {
   }
   if (report.cooling_crossover_k)
     j["cooling_crossover_k"] = *report.cooling_crossover_k;
+  j["cooling_verdict"] = serve::cooling_verdict_name(report.cooling_verdict);
   return j;
 }
 

@@ -120,6 +120,64 @@ TEST(Table2D, MinMax) {
   EXPECT_DOUBLE_EQ(t.max_value(), 7.0);
 }
 
+TEST(Table2D, EmptyTableThrowsEverywhere) {
+  // A default-constructed table has no values; min/max used to read
+  // values_.front() anyway (UB). All three accessors now refuse alike.
+  const Table2D t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_THROW((void)t.lookup(0.0, 0.0), std::logic_error);
+  EXPECT_THROW((void)t.min_value(), std::logic_error);
+  EXPECT_THROW((void)t.max_value(), std::logic_error);
+}
+
+TEST(Table2D, LookupExactlyAtAxisEndpoints) {
+  // Queries landing exactly on axis.front()/axis.back() must hit the
+  // stored corner values, not wander into the extrapolation branch.
+  Table2D t({1.0, 2.0, 4.0}, {10.0, 30.0});
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 2; ++j) t.at(i, j) = double(i * 10 + j);
+  EXPECT_DOUBLE_EQ(t.lookup(1.0, 10.0), 0.0);   // front/front
+  EXPECT_DOUBLE_EQ(t.lookup(4.0, 30.0), 21.0);  // back/back
+  EXPECT_DOUBLE_EQ(t.lookup(1.0, 30.0), 1.0);
+  EXPECT_DOUBLE_EQ(t.lookup(4.0, 10.0), 20.0);
+}
+
+TEST(Table2D, DegenerateSingleRowTable) {
+  // 1xN: axis-1 has one point; lookups interpolate along axis-2 only and
+  // extrapolate linearly past both ends.
+  Table2D t({5.0}, {0.0, 1.0, 2.0});
+  t.at(0, 0) = 0.0;
+  t.at(0, 1) = 10.0;
+  t.at(0, 2) = 20.0;
+  EXPECT_DOUBLE_EQ(t.lookup(5.0, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(t.lookup(-100.0, 0.5), 5.0);  // axis-1 value is ignored
+  EXPECT_DOUBLE_EQ(t.lookup(5.0, 3.0), 30.0);    // above the grid
+  EXPECT_DOUBLE_EQ(t.lookup(5.0, -1.0), -10.0);  // below the grid
+  EXPECT_DOUBLE_EQ(t.lookup(5.0, 0.0), 0.0);     // exactly at front
+  EXPECT_DOUBLE_EQ(t.lookup(5.0, 2.0), 20.0);    // exactly at back
+}
+
+TEST(Table2D, DegenerateSingleColumnTable) {
+  // Nx1: the mirror case along axis-1.
+  Table2D t({0.0, 1.0, 2.0}, {7.0});
+  t.at(0, 0) = 0.0;
+  t.at(1, 0) = 4.0;
+  t.at(2, 0) = 8.0;
+  EXPECT_DOUBLE_EQ(t.lookup(0.5, 7.0), 2.0);
+  EXPECT_DOUBLE_EQ(t.lookup(1.5, -99.0), 6.0);  // axis-2 value is ignored
+  EXPECT_DOUBLE_EQ(t.lookup(3.0, 7.0), 12.0);   // above the grid
+  EXPECT_DOUBLE_EQ(t.lookup(-1.0, 7.0), -4.0);  // below the grid
+  EXPECT_DOUBLE_EQ(t.lookup(0.0, 7.0), 0.0);
+  EXPECT_DOUBLE_EQ(t.lookup(2.0, 7.0), 8.0);
+}
+
+TEST(Table2D, SingleCellTableIsConstant) {
+  Table2D t({1.0}, {1.0});
+  t.at(0, 0) = 42.0;
+  EXPECT_DOUBLE_EQ(t.lookup(1.0, 1.0), 42.0);
+  EXPECT_DOUBLE_EQ(t.lookup(-5.0, 100.0), 42.0);
+}
+
 TEST(Histogram, BinsAndOverflow) {
   Histogram h(0.0, 10.0, 10);
   h.add(0.5);

@@ -211,6 +211,23 @@ TEST(ServeWire, ResponseRoundTripsByteIdenticallyForEveryKind) {
     o.worst_corner = 0;
     o.fmax_vs_temperature = {{10.0, 1.1e9}, {300.0, 1.2e9}};
     o.cooling_crossover_k = 47.5;
+    o.cooling_verdict = CoolingVerdict::kCrossover;
+    r.sweep = o;
+    responses.push_back(r);
+  }
+  {
+    // A sweep where even the coldest corner exceeds the budget: the
+    // verdict (not an unset optional) carries the distinction.
+    FlowResponse r;
+    r.kind = QueryKind::kSweep;
+    r.ok = true;
+    SweepOutcome o;
+    SweepCornerResult c;
+    c.corner = {0.7, 10.0, "10k"};
+    c.ok = true;
+    c.fits_cooling_budget = false;
+    o.corners = {c};
+    o.cooling_verdict = CoolingVerdict::kInfeasibleEverywhere;
     r.sweep = o;
     responses.push_back(r);
   }

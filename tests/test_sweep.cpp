@@ -6,6 +6,8 @@
 // the millisecond range.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <unordered_set>
@@ -173,6 +175,93 @@ TEST(Sweep, JsonReportCarriesSchema) {
 TEST(Sweep, EmptyGridThrows) {
   CryoSocFlow flow(full_catalog_config());
   EXPECT_THROW(run_sweep(flow, SweepRequest{}), std::invalid_argument);
+}
+
+TEST(Sweep, RoundTrippedCornerSharesItsTwinsCurvePoint) {
+  // Regression: the fmax-vs-T curve used exact double == on temperature,
+  // so a corner whose temperature round-tripped through a %.6g text form
+  // (Liberty nom_temperature, a serve client) forked its own grid point.
+  // Anchored interpolation keeps the odd temperatures characterization-free.
+  auto config = full_catalog_config();
+  config.interp_anchor_temps = {10.0, 300.0};
+  CryoSocFlow flow(config);
+
+  const double exact = 154.321987;  // %.6g renders "154.322"
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", exact);
+  const double round_tripped = std::strtod(buf, nullptr);
+  ASSERT_NE(exact, round_tripped);
+  ASSERT_TRUE(core::temperature_close(exact, round_tripped));
+
+  auto& runs = obs::registry().counter("charlib.runs");
+  const auto runs0 = runs.value();
+
+  SweepRequest request;
+  request.corners = {flow.corner(exact), flow.corner(round_tripped)};
+  request.run_timing = true;
+  const auto report = run_sweep(flow, request);
+
+  ASSERT_EQ(report.corners.size(), 2u);
+  EXPECT_EQ(report.failed, 0u);
+  // One physical temperature -> one curve point, not two.
+  ASSERT_EQ(report.fmax_vs_temperature.size(), 1u);
+  EXPECT_DOUBLE_EQ(report.fmax_vs_temperature[0].first, exact);
+  // Both corners rode the committed anchors; nothing characterized.
+  EXPECT_EQ(runs.value(), runs0);
+}
+
+TEST(Sweep, CoolingVerdictNamesTheFeasibilityOutcome) {
+  // The crossover optional alone could not distinguish "fits everywhere"
+  // from "infeasible even at the coldest corner" — both were silence.
+  CryoSocFlow flow(full_catalog_config());
+  SweepRequest request;
+  request.corners = {flow.corner(10.0), flow.corner(300.0)};
+  request.run_timing = true;
+  request.run_power = true;
+  request.run_feasibility = true;
+
+  // Baseline run to learn the two power totals.
+  request.cooling_budget_w = 1.0;
+  const auto probe = run_sweep(flow, request);
+  ASSERT_EQ(probe.failed, 0u);
+  ASSERT_TRUE(probe.corners[0].power && probe.corners[1].power);
+  const double p_cold = probe.corners[0].power->total();
+  const double p_warm = probe.corners[1].power->total();
+  ASSERT_LT(p_cold, p_warm);  // cooling saves power (the paper's premise)
+
+  // Budget between the two totals: a crossover exists and is bracketed.
+  request.cooling_budget_w = 0.5 * (p_cold + p_warm);
+  const auto mid = run_sweep(flow, request);
+  EXPECT_EQ(mid.cooling_verdict, serve::CoolingVerdict::kCrossover);
+  ASSERT_TRUE(mid.cooling_crossover_k.has_value());
+  EXPECT_GE(*mid.cooling_crossover_k, 10.0);
+  EXPECT_LE(*mid.cooling_crossover_k, 300.0);
+
+  // Budget above every total: fits everywhere, no crossover.
+  request.cooling_budget_w = 2.0 * p_warm;
+  const auto roomy = run_sweep(flow, request);
+  EXPECT_EQ(roomy.cooling_verdict, serve::CoolingVerdict::kFitsEverywhere);
+  EXPECT_FALSE(roomy.cooling_crossover_k.has_value());
+
+  // Budget below every total: infeasible even at the coldest corner —
+  // previously indistinguishable from the case above.
+  request.cooling_budget_w = 0.5 * p_cold;
+  const auto tight = run_sweep(flow, request);
+  EXPECT_EQ(tight.cooling_verdict,
+            serve::CoolingVerdict::kInfeasibleEverywhere);
+  EXPECT_FALSE(tight.cooling_crossover_k.has_value());
+
+  // The verdict rides the cryosoc-sweep-v1 document.
+  const std::string json = to_json(tight).dump(2);
+  EXPECT_NE(json.find("\"cooling_verdict\": \"infeasible_everywhere\""),
+            std::string::npos);
+
+  // A sweep without power results reports not_evaluated.
+  SweepRequest timing_only;
+  timing_only.corners = {flow.corner(300.0)};
+  const auto no_power = run_sweep(flow, timing_only);
+  EXPECT_EQ(no_power.cooling_verdict,
+            serve::CoolingVerdict::kNotEvaluated);
 }
 
 // ---- Corner cache: eviction + reload ------------------------------------
